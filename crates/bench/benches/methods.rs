@@ -1,0 +1,121 @@
+//! E8 — method machinery overhead: call cost over receiver fan-out and
+//! body length, and the price of interface filtering (temporaries
+//! created and then restricted away).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use good_bench::instance_of;
+use good_core::label::{receiver_label, Label};
+use good_core::method::{execute_call, Method, MethodCall, MethodSpec};
+use good_core::ops::NodeAddition;
+use good_core::pattern::Pattern;
+use good_core::program::{Env, Operation};
+use good_core::scheme::Scheme;
+use std::time::Duration;
+
+/// A method whose body is `body_len` no-op-ish node additions tagging
+/// the receiver with temp classes (filtered by the empty interface).
+fn temp_tagging_method(body_len: usize) -> Method {
+    let mut body = Vec::new();
+    for index in 0..body_len {
+        let mut p = Pattern::new();
+        let head = p.method_head("Tagger");
+        let recv = p.node("Info");
+        p.edge(head, receiver_label(), recv);
+        body.push(Operation::NodeAdd(NodeAddition::new(
+            p,
+            format!("Temp{index}").as_str(),
+            [(Label::new(format!("t{index}")), recv)],
+        )));
+    }
+    Method::new(MethodSpec::new("Tagger", "Info", []), body, Scheme::new())
+}
+
+fn bench_body_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8/body-length");
+    for body_len in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(body_len),
+            &body_len,
+            |b, &body_len| {
+                b.iter_batched(
+                    || instance_of(100),
+                    |mut db| {
+                        let mut env = Env::with_fuel(1_000_000);
+                        env.register(temp_tagging_method(body_len));
+                        let mut p = Pattern::new();
+                        let info = p.node("Info");
+                        let name = p.printable("String", "info-3");
+                        p.edge(info, "name", name);
+                        execute_call(&MethodCall::new("Tagger", p, info, []), &mut db, &mut env)
+                            .expect("call")
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_receiver_fanout(c: &mut Criterion) {
+    // One call, many receivers: the set-oriented frame construction.
+    let mut group = c.benchmark_group("E8/receiver-fanout");
+    for size in [50usize, 200, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter_batched(
+                || instance_of(size),
+                |mut db| {
+                    let mut env = Env::with_fuel(1_000_000);
+                    env.register(temp_tagging_method(2));
+                    let mut p = Pattern::new();
+                    let info = p.node("Info");
+                    execute_call(&MethodCall::new("Tagger", p, info, []), &mut db, &mut env)
+                        .expect("call")
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_interface_filtering(c: &mut Criterion) {
+    // The restriction sweep alone, isolated by calling a body-less
+    // method on a large instance: cost ≈ restrict_to_scheme.
+    let mut group = c.benchmark_group("E8/interface-filtering");
+    for size in [100usize, 400, 1600] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter_batched(
+                || instance_of(size),
+                |mut db| {
+                    let mut env = Env::with_fuel(1_000_000);
+                    env.register(Method::new(
+                        MethodSpec::new("Noop", "Info", []),
+                        Vec::new(),
+                        Scheme::new(),
+                    ));
+                    let mut p = Pattern::new();
+                    let info = p.node("Info");
+                    execute_call(&MethodCall::new("Noop", p, info, []), &mut db, &mut env)
+                        .expect("call")
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_body_length, bench_receiver_fanout, bench_interface_filtering
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! E2 — throughput of the five basic operations over instance size.
+//! Validates that operations are set-oriented: cost tracks the number
+//! of matchings, applied "in parallel" per the paper's Section 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use good_bench::{instance_of, SIZES};
+use good_core::label::Label;
+use good_core::ops::{Abstraction, EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion};
+use good_core::pattern::Pattern;
+use std::time::Duration;
+
+fn bench_node_addition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/node-addition");
+    for size in SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter_batched(
+                || instance_of(size),
+                |mut db| {
+                    let mut p = Pattern::new();
+                    let info = p.node("Info");
+                    let date = p.node("Date");
+                    p.edge(info, "created", date);
+                    NodeAddition::new(p, "Tag", [(Label::new("of"), info)])
+                        .apply(&mut db)
+                        .expect("applies")
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_addition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/edge-addition");
+    for size in SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter_batched(
+                || instance_of(size),
+                |mut db| {
+                    let mut p = Pattern::new();
+                    let a = p.node("Info");
+                    let b2 = p.node("Info");
+                    p.edge(a, "links-to", b2);
+                    EdgeAddition::multivalued(p, b2, "rec-links-to", a)
+                        .apply(&mut db)
+                        .expect("applies")
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_node_deletion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/node-deletion");
+    for size in SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter_batched(
+                || instance_of(size),
+                |mut db| {
+                    let mut p = Pattern::new();
+                    let a = p.node("Info");
+                    let b2 = p.node("Info");
+                    p.edge(a, "links-to", b2);
+                    NodeDeletion::new(p, b2).apply(&mut db).expect("applies")
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_deletion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/edge-deletion");
+    for size in SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter_batched(
+                || instance_of(size),
+                |mut db| {
+                    let mut p = Pattern::new();
+                    let a = p.node("Info");
+                    let b2 = p.node("Info");
+                    p.edge(a, "links-to", b2);
+                    EdgeDeletion::single(p, a, "links-to", b2)
+                        .apply(&mut db)
+                        .expect("applies")
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_abstraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/abstraction");
+    for size in SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter_batched(
+                || instance_of(size),
+                |mut db| {
+                    let mut p = Pattern::new();
+                    let info = p.node("Info");
+                    Abstraction::new(p, info, "Grp", "member", "links-to")
+                        .apply(&mut db)
+                        .expect("applies")
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_node_addition, bench_edge_addition, bench_node_deletion,
+              bench_edge_deletion, bench_abstraction
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! E11 — the durability layer: journal append throughput, replay
+//! (open) latency, and checkpoint cost, over journal length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use good_core::gen::bench_scheme;
+use good_core::label::Label;
+use good_core::ops::NodeAddition;
+use good_core::pattern::Pattern;
+use good_core::program::{Operation, Program};
+use good_store::Store;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("good-bench-{name}-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn seed_program(index: usize) -> Program {
+    Program::from_ops([Operation::NodeAdd(NodeAddition::new(
+        Pattern::new(),
+        format!("Seed{index}").as_str(),
+        [],
+    ))])
+}
+
+fn tag_program() -> Program {
+    let mut pattern = Pattern::new();
+    let info = pattern.node("Info");
+    Program::from_ops([Operation::NodeAdd(NodeAddition::new(
+        pattern,
+        "Tag",
+        [(Label::new("of"), info)],
+    ))])
+}
+
+fn populated(path: &PathBuf, records: usize) {
+    let mut store = Store::create(path, bench_scheme()).expect("create");
+    for index in 0..records {
+        store.execute(&seed_program(index)).expect("execute");
+    }
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/append");
+    group.bench_function("execute+fsync", |b| {
+        let path = tmp("append");
+        let mut store = Store::create(&path, bench_scheme()).expect("create");
+        let mut index = 0usize;
+        b.iter(|| {
+            store.execute(&seed_program(index)).expect("execute");
+            index += 1;
+        });
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    });
+    group.bench_function("execute-with-matching", |b| {
+        let path = tmp("append-match");
+        let mut store = Store::create(&path, bench_scheme()).expect("create");
+        b.iter(|| store.execute(&tag_program()).expect("execute"));
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    });
+    group.finish();
+}
+
+fn bench_open_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/open-replay");
+    for records in [10usize, 100, 400] {
+        let path = tmp(&format!("open-{records}"));
+        populated(&path, records);
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
+            b.iter(|| Store::open(&path).expect("open"));
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/checkpoint");
+    for records in [10usize, 100, 400] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(records),
+            &records,
+            |b, &records| {
+                b.iter_batched(
+                    || {
+                        let path = tmp(&format!("ckpt-{records}"));
+                        populated(&path, records);
+                        (Store::open(&path).expect("open"), path)
+                    },
+                    |(mut store, path)| {
+                        store.checkpoint().expect("checkpoint");
+                        let _ = std::fs::remove_file(&path);
+                    },
+                    criterion::BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_append, bench_open_replay, bench_checkpoint
+}
+criterion_main!(benches);

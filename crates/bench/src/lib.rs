@@ -1,0 +1,117 @@
+//! `good-bench` — shared workload builders for the benchmark harness
+//! (EXPERIMENTS.md E1–E10) and the `repro` figure-regeneration binary.
+//!
+//! The paper has no quantitative evaluation, so these workloads
+//! characterize the implementation on synthetic hyper-media-shaped
+//! instances (see DESIGN.md §1 for the rationale and EXPERIMENTS.md for
+//! recorded results).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use good_core::gen::{random_instance, GenConfig};
+use good_core::instance::Instance;
+use good_core::label::Label;
+use good_core::ops::NodeAddition;
+use good_core::pattern::Pattern;
+use good_graph::NodeId;
+
+/// The instance sizes the sweeps run over (number of Info objects).
+pub const SIZES: [usize; 3] = [100, 400, 1600];
+
+/// A deterministic random instance of `infos` Info objects with ~2
+/// outgoing links each.
+pub fn instance_of(infos: usize) -> Instance {
+    random_instance(&GenConfig {
+        infos,
+        avg_links: 2.0,
+        distinct_dates: 8,
+        seed: 42,
+    })
+}
+
+/// A chain-shaped pattern of `length` Info nodes connected by
+/// `links-to` edges; returns `(pattern, nodes)`.
+pub fn chain_pattern(length: usize) -> (Pattern, Vec<NodeId>) {
+    let mut pattern = Pattern::new();
+    let nodes: Vec<NodeId> = (0..length).map(|_| pattern.node("Info")).collect();
+    for window in nodes.windows(2) {
+        pattern.edge(window[0], "links-to", window[1]);
+    }
+    (pattern, nodes)
+}
+
+/// The Figure 4-shaped pattern: a named Info linking to another.
+pub fn anchored_pattern(name: &str) -> (Pattern, NodeId, NodeId) {
+    let mut pattern = Pattern::new();
+    let info = pattern.node("Info");
+    let name_node = pattern.printable("String", name);
+    let other = pattern.node("Info");
+    pattern.edge(info, "name", name_node);
+    pattern.edge(info, "links-to", other);
+    (pattern, info, other)
+}
+
+/// A tag node addition over a chain pattern of the given length.
+pub fn tag_addition(length: usize) -> NodeAddition {
+    let (pattern, nodes) = chain_pattern(length);
+    NodeAddition::new(pattern, "BenchTag", [(Label::new("of"), nodes[0])])
+}
+
+/// An instance shaped for abstraction benchmarks: `groups` distinct
+/// link sets, each shared by `members` Info objects.
+pub fn grouped_instance(groups: usize, members: usize) -> Instance {
+    let mut db = Instance::new(good_core::gen::bench_scheme());
+    let targets: Vec<NodeId> = (0..groups + 2)
+        .map(|_| db.add_object("Info").expect("Info"))
+        .collect();
+    for group in 0..groups {
+        for _ in 0..members {
+            let info = db.add_object("Info").expect("Info");
+            // Each group's signature set: {targets[group], targets[group+1]}.
+            db.add_edge(info, "links-to", targets[group]).expect("edge");
+            db.add_edge(info, "links-to", targets[group + 1])
+                .expect("edge");
+        }
+    }
+    db
+}
+
+/// A chain instance of `length` Info objects for transitive-closure
+/// benchmarks.
+pub fn chain_instance(length: usize) -> Instance {
+    let mut db = Instance::new(good_core::gen::bench_scheme());
+    let nodes: Vec<NodeId> = (0..length)
+        .map(|_| db.add_object("Info").expect("Info"))
+        .collect();
+    for window in nodes.windows(2) {
+        db.add_edge(window[0], "links-to", window[1]).expect("edge");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_validate() {
+        instance_of(100).validate().unwrap();
+        grouped_instance(5, 4).validate().unwrap();
+        chain_instance(20).validate().unwrap();
+    }
+
+    #[test]
+    fn grouped_instance_shape() {
+        let db = grouped_instance(3, 4);
+        assert_eq!(db.label_count(&Label::new("Info")), 3 * 4 + 5);
+    }
+
+    #[test]
+    fn chain_pattern_shape() {
+        let (pattern, nodes) = chain_pattern(4);
+        assert_eq!(pattern.node_count(), 4);
+        assert_eq!(pattern.graph().edge_count(), 3);
+        assert_eq!(nodes.len(), 4);
+    }
+}

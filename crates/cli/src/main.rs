@@ -1,0 +1,236 @@
+//! `good-db` — an interactive shell / script runner for GOOD object
+//! bases.
+//!
+//! ```text
+//! good-db                 # interactive REPL
+//! good-db script.gdb      # run commands from a file
+//! good-db -c "class Info; init; insert Info; stats"
+//! ```
+//!
+//! Commands are line-oriented; a line whose braces are unbalanced
+//! continues on the next line (so `match { … }` blocks can be written
+//! across lines). `#` starts a comment. See `help` for the command set.
+
+mod session;
+
+use session::Session;
+use std::io::{BufRead, Write};
+
+fn brace_balance(text: &str) -> i64 {
+    text.chars().fold(0, |acc, ch| match ch {
+        '{' => acc + 1,
+        '}' => acc - 1,
+        _ => acc,
+    })
+}
+
+/// Split command text into top-level commands: separators are `;` and
+/// newlines at brace depth 0 outside string literals; `#` comments at
+/// depth 0 run to end of line. Content inside `{ … }` blocks (pattern
+/// text) is never split.
+fn split_commands(text: &str) -> Vec<String> {
+    let mut commands = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut in_comment = false;
+    for ch in text.chars() {
+        if in_comment {
+            if ch == '\n' {
+                in_comment = false;
+                if depth == 0 {
+                    flush(&mut commands, &mut current);
+                    continue;
+                }
+            } else {
+                continue;
+            }
+        }
+        match ch {
+            '"' => {
+                in_string = !in_string;
+                current.push(ch);
+            }
+            '{' if !in_string => {
+                depth += 1;
+                current.push(ch);
+            }
+            '}' if !in_string => {
+                depth -= 1;
+                current.push(ch);
+            }
+            '#' if !in_string && depth == 0 => in_comment = true,
+            ';' | '\n' if !in_string && depth == 0 => flush(&mut commands, &mut current),
+            _ => current.push(ch),
+        }
+    }
+    flush(&mut commands, &mut current);
+    commands
+}
+
+fn flush(commands: &mut Vec<String>, current: &mut String) {
+    let trimmed = current.trim();
+    if !trimmed.is_empty() {
+        commands.push(trimmed.to_string());
+    }
+    current.clear();
+}
+
+/// Run a block of command text. Returns the combined output; stops at
+/// the first error.
+fn run_script(session: &mut Session, text: &str) -> Result<String, session::CliError> {
+    let mut output = String::new();
+    for command in split_commands(text) {
+        let report = session.execute(&command)?;
+        if !report.is_empty() {
+            output.push_str(&report);
+            if !report.ends_with('\n') {
+                output.push('\n');
+            }
+        }
+    }
+    Ok(output)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut session = Session::new();
+
+    // -c "commands" mode.
+    if args.first().map(String::as_str) == Some("-c") {
+        let text = args[1..].join(" ");
+        match run_script(&mut session, &text) {
+            Ok(output) => print!("{output}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Script-file mode.
+    if let Some(path) = args.first() {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("error: cannot read {path}: {err}");
+                std::process::exit(1);
+            }
+        };
+        match run_script(&mut session, &text) {
+            Ok(output) => print!("{output}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Interactive REPL.
+    println!("good-db — GOOD object base shell (try `help`, quit with `quit`)");
+    let stdin = std::io::stdin();
+    let mut pending = String::new();
+    loop {
+        if pending.is_empty() {
+            print!("good> ");
+        } else {
+            print!("  ... ");
+        }
+        std::io::stdout().flush().expect("flush stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(err) => {
+                eprintln!("error: {err}");
+                break;
+            }
+        }
+        let trimmed = line.trim_end();
+        if pending.is_empty() && matches!(trimmed, "quit" | "exit") {
+            break;
+        }
+        if !pending.is_empty() {
+            pending.push('\n');
+        }
+        pending.push_str(trimmed);
+        if brace_balance(&pending) > 0 {
+            continue;
+        }
+        let command = std::mem::take(&mut pending);
+        match session.execute(&command) {
+            Ok(report) => {
+                if !report.is_empty() {
+                    println!("{}", report.trim_end());
+                }
+            }
+            Err(err) => eprintln!("error: {err}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_script_executes_multiline_patterns() {
+        let mut session = Session::new();
+        let script = r#"
+class Info
+printable String string
+functional Info name String
+init
+insert Info as a
+value String "hello" as n
+edge a name n
+match {
+  i: Info;
+  s: String = "hello";
+  i -name-> s;
+}
+stats
+"#;
+        let output = run_script(&mut session, script).unwrap();
+        assert!(output.contains("1 matching(s)"));
+        assert!(output.contains("2 nodes, 1 edges"));
+    }
+
+    #[test]
+    fn semicolons_separate_simple_commands() {
+        let mut session = Session::new();
+        let output = run_script(&mut session, "class Info; init; insert Info; stats").unwrap();
+        assert!(output.contains("1 nodes, 0 edges"));
+    }
+
+    #[test]
+    fn errors_stop_the_script() {
+        let mut session = Session::new();
+        assert!(run_script(&mut session, "bogus").is_err());
+    }
+
+    #[test]
+    fn split_commands_respects_braces_strings_and_comments() {
+        let commands = split_commands(
+            "class Info; init # trailing comment\nmatch { i: Info; s: String = \"a;b\"; }; stats",
+        );
+        assert_eq!(
+            commands,
+            vec![
+                "class Info".to_string(),
+                "init".to_string(),
+                "match { i: Info; s: String = \"a;b\"; }".to_string(),
+                "stats".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn brace_balance_counts() {
+        assert_eq!(brace_balance("a { b { c }"), 1);
+        assert_eq!(brace_balance("{}"), 0);
+        assert_eq!(brace_balance("}"), -1);
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end tests of the compiled `good-db` binary: `-c` mode,
+//! script-file mode, and the interactive REPL via piped stdin.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_good-db"))
+}
+
+const SETUP: &str = "class Info; printable String string; functional Info name String; \
+                     multivalued Info links-to Info; init";
+
+#[test]
+fn dash_c_mode_runs_commands() {
+    let output = binary()
+        .arg("-c")
+        .arg(format!(
+            "{SETUP}; insert Info as a; insert Info as b; edge a links-to b; stats"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("2 nodes, 1 edges"), "{stdout}");
+}
+
+#[test]
+fn dash_c_mode_handles_patterns_with_semicolons() {
+    let output = binary()
+        .arg("-c")
+        .arg(format!(
+            "{SETUP}; insert Info as a; value String \"x\" as n; edge a name n; \
+             match {{ i: Info; s: String; i -name-> s; }}"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("1 matching(s)"), "{stdout}");
+}
+
+#[test]
+fn script_file_mode() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("good-cli-script-{}.gdb", std::process::id()));
+    std::fs::write(
+        &path,
+        "# build a tiny base\n\
+         class Info\n\
+         printable String string\n\
+         functional Info name String\n\
+         init\n\
+         insert Info as a\n\
+         value String \"hello\" as n\n\
+         edge a name n\n\
+         match {\n  i: Info;\n  s: String = \"hello\";\n  i -name-> s;\n}\n\
+         validate\n",
+    )
+    .expect("write script");
+    let output = binary().arg(&path).output().expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("1 matching(s)"), "{stdout}");
+    assert!(stdout.contains("all invariants hold"), "{stdout}");
+    std::fs::remove_file(path).expect("cleanup");
+}
+
+#[test]
+fn script_errors_exit_nonzero() {
+    let output = binary()
+        .arg("-c")
+        .arg("complete nonsense")
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}
+
+#[test]
+fn repl_reads_multiline_patterns_from_stdin() {
+    let mut child = binary()
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let stdin = child.stdin.as_mut().expect("stdin");
+    stdin
+        .write_all(
+            b"class Info\nprintable String string\nfunctional Info name String\ninit\n\
+              insert Info as a\nvalue String \"hi\" as n\nedge a name n\n\
+              match {\n i: Info;\n s: String;\n i -name-> s;\n}\nquit\n",
+        )
+        .expect("write stdin");
+    let output = child.wait_with_output().expect("binary finishes");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("good-db"), "{stdout}");
+    assert!(stdout.contains("1 matching(s)"), "{stdout}");
+}

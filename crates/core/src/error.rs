@@ -1,0 +1,218 @@
+//! Error types for the GOOD model.
+
+use crate::label::{EdgeKind, Label, NodeKind};
+use crate::value::{Value, ValueType};
+use std::fmt;
+
+/// Everything that can go wrong constructing or transforming an object
+/// base.
+///
+/// The paper distinguishes situations where a result is *undefined* (an
+/// inconsistent edge addition, Section 3.2) from plain misuse (adding an
+/// edge not allowed by the scheme). Both surface as `Err` here; tests
+/// match on the exact variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GoodError {
+    /// A label was registered in one universe and used as another (the
+    /// four label sets are pairwise disjoint).
+    LabelUniverseClash {
+        /// The offending label.
+        label: Label,
+        /// Description of the existing registration.
+        existing: &'static str,
+        /// Description of the attempted registration.
+        attempted: &'static str,
+    },
+    /// A node label is not part of the scheme.
+    UnknownNodeLabel(Label),
+    /// An edge label is not part of the scheme.
+    UnknownEdgeLabel(Label),
+    /// An edge `(src, λ, dst)` is not licensed by the scheme's triple set
+    /// `P ⊆ OL × (MEL ∪ FEL) × (OL ∪ POL)`.
+    EdgeNotInScheme {
+        /// Source node label.
+        src: Label,
+        /// Edge label.
+        edge: Label,
+        /// Destination node label.
+        dst: Label,
+    },
+    /// `P` requires edge sources to be object labels; a printable label
+    /// was used as a source.
+    PrintableAsSource(Label),
+    /// A printable node was created without a print value, or an object
+    /// node with one.
+    PrintMismatch {
+        /// The node label involved.
+        label: Label,
+        /// Its kind in the scheme.
+        kind: NodeKind,
+    },
+    /// The print value's domain does not match the printable label's
+    /// declared constant set.
+    ValueTypeMismatch {
+        /// The printable label.
+        label: Label,
+        /// Its declared domain.
+        expected: ValueType,
+        /// The offending value.
+        value: Value,
+    },
+    /// Adding this edge would give a node two distinct `λ`-successors for
+    /// functional `λ` — the paper's "result is not defined" case (i).
+    FunctionalConflict {
+        /// Edge label.
+        edge: Label,
+        /// Display string of the source node.
+        src: String,
+    },
+    /// Adding this edge would give a node `λ`-successors with different
+    /// node labels — the paper's "result is not defined" case (ii).
+    TargetLabelConflict {
+        /// Edge label.
+        edge: Label,
+        /// The label already used by existing `λ`-successors.
+        existing: Label,
+        /// The conflicting new target label.
+        new: Label,
+    },
+    /// An edge label was used with the wrong multiplicity kind.
+    EdgeKindMismatch {
+        /// The edge label.
+        label: Label,
+        /// Kind registered in the scheme.
+        registered: EdgeKind,
+        /// Kind implied by the usage.
+        used: EdgeKind,
+    },
+    /// A node id did not refer to a live node of the instance/pattern.
+    DanglingNode(String),
+    /// An operation referenced a pattern node that is not in its source
+    /// pattern.
+    NodeNotInPattern(String),
+    /// An edge-deletion referenced an edge that is not in its source
+    /// pattern.
+    EdgeNotInPattern {
+        /// Edge label of the missing edge.
+        edge: Label,
+    },
+    /// A pattern failed validation against the scheme.
+    InvalidPattern(String),
+    /// A method was called that is not registered in the environment.
+    UnknownMethod(String),
+    /// A method call's receiver or arguments do not match the method
+    /// specification.
+    MethodSignatureMismatch(String),
+    /// Execution exceeded the environment's fuel bound — the language is
+    /// Turing-complete, so runaway recursion must be detectable.
+    OutOfFuel {
+        /// The fuel budget that was exhausted.
+        budget: u64,
+    },
+    /// The `isa` subclass hierarchy contains a cycle (forbidden by
+    /// Section 4.2).
+    IsaCycle,
+    /// An instance-level invariant was found violated (used by
+    /// [`Instance::validate`](crate::instance::Instance::validate)).
+    InvariantViolation(String),
+}
+
+impl fmt::Display for GoodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoodError::LabelUniverseClash { label, existing, attempted } => write!(
+                f,
+                "label {label} is already registered as {existing}; cannot also register it as {attempted} (the four label sets are pairwise disjoint)"
+            ),
+            GoodError::UnknownNodeLabel(label) => {
+                write!(f, "node label {label} is not part of the scheme")
+            }
+            GoodError::UnknownEdgeLabel(label) => {
+                write!(f, "edge label {label} is not part of the scheme")
+            }
+            GoodError::EdgeNotInScheme { src, edge, dst } => write!(
+                f,
+                "edge ({src}, {edge}, {dst}) is not licensed by the scheme's triple set P"
+            ),
+            GoodError::PrintableAsSource(label) => write!(
+                f,
+                "printable label {label} cannot be an edge source (P ⊆ OL × EL × (OL ∪ POL))"
+            ),
+            GoodError::PrintMismatch { label, kind } => match kind {
+                NodeKind::Printable => {
+                    write!(f, "printable node {label} requires a print value")
+                }
+                NodeKind::Object => {
+                    write!(f, "object node {label} cannot carry a print value")
+                }
+            },
+            GoodError::ValueTypeMismatch { label, expected, value } => write!(
+                f,
+                "printable label {label} ranges over {expected} constants, got {value}"
+            ),
+            GoodError::FunctionalConflict { edge, src } => write!(
+                f,
+                "functional edge {edge} from {src} would become multi-valued; the result of this operation is undefined"
+            ),
+            GoodError::TargetLabelConflict { edge, existing, new } => write!(
+                f,
+                "edge {edge} would point at nodes with different labels ({existing} vs {new}); the result of this operation is undefined"
+            ),
+            GoodError::EdgeKindMismatch { label, registered, used } => write!(
+                f,
+                "edge label {label} is registered as {registered} but used as {used}"
+            ),
+            GoodError::DanglingNode(node) => write!(f, "node {node} is not live"),
+            GoodError::NodeNotInPattern(node) => {
+                write!(f, "node {node} is not part of the operation's source pattern")
+            }
+            GoodError::EdgeNotInPattern { edge } => write!(
+                f,
+                "edge deletion requires the {edge} edge to be present in the source pattern"
+            ),
+            GoodError::InvalidPattern(msg) => write!(f, "invalid pattern: {msg}"),
+            GoodError::UnknownMethod(name) => write!(f, "method {name} is not registered"),
+            GoodError::MethodSignatureMismatch(msg) => {
+                write!(f, "method call does not match its specification: {msg}")
+            }
+            GoodError::OutOfFuel { budget } => write!(
+                f,
+                "execution exceeded the fuel budget of {budget} operation applications (possible divergent recursion)"
+            ),
+            GoodError::IsaCycle => {
+                write!(f, "the isa subclass hierarchy must not contain cycles")
+            }
+            GoodError::InvariantViolation(msg) => write!(f, "instance invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GoodError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, GoodError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let err = GoodError::FunctionalConflict {
+            edge: Label::new("created"),
+            src: "Info#3".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("created"));
+        assert!(text.contains("undefined"));
+
+        let err = GoodError::OutOfFuel { budget: 10 };
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&GoodError::IsaCycle);
+    }
+}

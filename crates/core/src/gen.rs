@@ -1,0 +1,172 @@
+//! Deterministic random workload generation for benches and property
+//! tests.
+//!
+//! The paper has no evaluation section, so the benchmark harness
+//! (EXPERIMENTS.md) characterizes the implementation on synthetic
+//! hyper-media-shaped instances: `Info` objects with names, creation
+//! dates and a random `links-to` topology — the same shape as the
+//! paper's running example, scaled.
+
+use crate::instance::Instance;
+use crate::scheme::{Scheme, SchemeBuilder};
+use crate::value::{Value, ValueType};
+use good_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_instance`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of `Info` objects.
+    pub infos: usize,
+    /// Expected number of outgoing `links-to` edges per info.
+    pub avg_links: f64,
+    /// Number of distinct creation dates to draw from (small values
+    /// create heavy sharing of printable nodes, as in the paper's
+    /// figures).
+    pub distinct_dates: usize,
+    /// RNG seed — equal configs generate equal instances.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            infos: 100,
+            avg_links: 2.0,
+            distinct_dates: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// The benchmark scheme: a scaled-down hyper-media scheme.
+pub fn bench_scheme() -> Scheme {
+    SchemeBuilder::new()
+        .object("Info")
+        .printable("String", ValueType::Str)
+        .printable("Date", ValueType::Date)
+        .functional("Info", "name", "String")
+        .functional("Info", "created", "Date")
+        .functional("Info", "modified", "Date")
+        .multivalued("Info", "links-to", "Info")
+        .multivalued("Info", "rec-links-to", "Info")
+        .build()
+}
+
+/// Generate a random instance over [`bench_scheme`]. Deterministic in
+/// the config.
+pub fn random_instance(config: &GenConfig) -> Instance {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Instance::new(bench_scheme());
+    let mut infos: Vec<NodeId> = Vec::with_capacity(config.infos);
+    let epoch = Value::date(1990, 1, 1);
+    let epoch_days = match &epoch {
+        Value::Date(d) => d.to_days(),
+        _ => unreachable!(),
+    };
+    for index in 0..config.infos {
+        let info = db.add_object("Info").expect("Info in scheme");
+        let name = db
+            .add_printable("String", format!("info-{index}"))
+            .expect("String in scheme");
+        db.add_edge(info, "name", name).expect("name edge");
+        let offset = rng.gen_range(0..config.distinct_dates.max(1)) as i64;
+        let date = crate::value::Date::from_days(epoch_days + offset);
+        let date_node = db.add_printable("Date", date).expect("Date in scheme");
+        db.add_edge(info, "created", date_node)
+            .expect("created edge");
+        infos.push(info);
+    }
+    if config.infos > 1 {
+        let p = (config.avg_links / (config.infos as f64 - 1.0)).min(1.0);
+        // Bernoulli per ordered pair keeps degree distribution binomial;
+        // for large instances sample the expected count instead.
+        let expected_edges = (config.infos as f64 * config.avg_links) as usize;
+        if config.infos <= 512 {
+            for &src in &infos {
+                for &dst in &infos {
+                    if src != dst && rng.gen_bool(p) {
+                        db.add_edge(src, "links-to", dst).expect("links edge");
+                    }
+                }
+            }
+        } else {
+            for _ in 0..expected_edges {
+                let src = infos[rng.gen_range(0..infos.len())];
+                let dst = infos[rng.gen_range(0..infos.len())];
+                if src != dst {
+                    db.add_edge(src, "links-to", dst).expect("links edge");
+                }
+            }
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = GenConfig {
+            infos: 50,
+            ..GenConfig::default()
+        };
+        let a = random_instance(&config);
+        let b = random_instance(&config);
+        assert!(a.isomorphic_to(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_instance(&GenConfig {
+            infos: 30,
+            seed: 1,
+            ..GenConfig::default()
+        });
+        let b = random_instance(&GenConfig {
+            infos: 30,
+            seed: 2,
+            ..GenConfig::default()
+        });
+        // With 30 nodes and random links, collision is implausible.
+        assert!(!a.isomorphic_to(&b));
+    }
+
+    #[test]
+    fn generated_instances_validate() {
+        for seed in 0..5 {
+            let db = random_instance(&GenConfig {
+                infos: 40,
+                seed,
+                ..GenConfig::default()
+            });
+            db.validate().unwrap();
+            assert_eq!(db.label_count(&"Info".into()), 40);
+        }
+    }
+
+    #[test]
+    fn large_path_also_validates() {
+        let db = random_instance(&GenConfig {
+            infos: 600,
+            avg_links: 1.5,
+            distinct_dates: 5,
+            seed: 7,
+        });
+        db.validate().unwrap();
+        assert_eq!(db.label_count(&"Info".into()), 600);
+    }
+
+    #[test]
+    fn dates_are_shared_printables() {
+        let db = random_instance(&GenConfig {
+            infos: 100,
+            distinct_dates: 3,
+            ..GenConfig::default()
+        });
+        assert!(db.label_count(&"Date".into()) <= 3);
+    }
+}

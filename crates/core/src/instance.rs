@@ -1,0 +1,842 @@
+//! Object base instances.
+//!
+//! Section 2 of the paper: an instance over a scheme `S` is a finite
+//! labeled graph `I = (N, E)` whose node labels come from `OL ∪ POL`,
+//! whose printable nodes carry a print constant, and whose edges conform
+//! to the triple set `P`, subject to three invariants:
+//!
+//! 1. all `λ`-successors of a node carry the same node label;
+//! 2. functional `λ` admits at most one `λ`-successor per node;
+//! 3. printable nodes are unique per (label, print value) — "if
+//!    `λ(n1) = λ(n2)` is in `POL` and `print(n1) = print(n2)` then
+//!    `n1 = n2`".
+//!
+//! [`Instance`] enforces all of this *at mutation time*, maintains label
+//! and printable-value indexes for the matcher, and owns its scheme
+//! because the GOOD operations evolve scheme and instance together.
+
+use crate::error::{GoodError, Result};
+use crate::label::{EdgeKind, Label, NodeKind};
+use crate::scheme::Scheme;
+use crate::value::Value;
+use good_graph::dot::{DotEdge, DotNode};
+use good_graph::{EdgeId, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Payload of an instance node: its class label, plus the print constant
+/// for printable nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeData {
+    /// The node's class label.
+    pub label: Label,
+    /// The print constant (exactly for printable nodes).
+    pub print: Option<Value>,
+}
+
+/// Payload of an instance edge: its edge label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// The edge's label.
+    pub label: Label,
+}
+
+/// # Example
+///
+/// ```
+/// use good_core::instance::Instance;
+/// use good_core::scheme::SchemeBuilder;
+/// use good_core::value::{Value, ValueType};
+///
+/// let scheme = SchemeBuilder::new()
+///     .object("Info")
+///     .printable("String", ValueType::Str)
+///     .functional("Info", "name", "String")
+///     .build();
+/// let mut db = Instance::new(scheme);
+/// let info = db.add_object("Info")?;
+/// let name = db.add_printable("String", "Rock")?;   // deduplicated
+/// db.add_edge(info, "name", name)?;
+/// assert_eq!(db.find_printable(&"String".into(), &Value::str("Rock")), Some(name));
+/// db.validate()?;
+/// # Ok::<(), good_core::error::GoodError>(())
+/// ```
+/// An object base instance over an owned [`Scheme`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(try_from = "InstanceData", into = "InstanceData")]
+pub struct Instance {
+    scheme: Scheme,
+    graph: Graph<NodeData, EdgeData>,
+    /// label → live nodes with that label (sorted for determinism).
+    label_index: HashMap<Label, BTreeSet<NodeId>>,
+    /// (printable label, value) → the unique node carrying it.
+    printable_index: HashMap<(Label, Value), NodeId>,
+}
+
+/// Serialized form: scheme + graph; indexes are rebuilt on load.
+#[derive(Serialize, Deserialize)]
+struct InstanceData {
+    scheme: Scheme,
+    graph: Graph<NodeData, EdgeData>,
+}
+
+impl From<Instance> for InstanceData {
+    fn from(instance: Instance) -> Self {
+        InstanceData {
+            scheme: instance.scheme,
+            graph: instance.graph,
+        }
+    }
+}
+
+impl TryFrom<InstanceData> for Instance {
+    type Error = GoodError;
+    fn try_from(data: InstanceData) -> Result<Self> {
+        Instance::from_parts(data.scheme, data.graph)
+    }
+}
+
+impl Instance {
+    /// An empty instance over `scheme`.
+    pub fn new(scheme: Scheme) -> Self {
+        Instance {
+            scheme,
+            graph: Graph::new(),
+            label_index: HashMap::new(),
+            printable_index: HashMap::new(),
+        }
+    }
+
+    /// Rebuild an instance from a scheme and a raw graph, validating all
+    /// invariants and reconstructing the indexes. This is the
+    /// deserialization path.
+    pub fn from_parts(scheme: Scheme, graph: Graph<NodeData, EdgeData>) -> Result<Self> {
+        let mut instance = Instance {
+            scheme,
+            graph,
+            label_index: HashMap::new(),
+            printable_index: HashMap::new(),
+        };
+        for node in instance.graph.node_ids().collect::<Vec<_>>() {
+            let data = instance.graph.node(node).expect("live").clone();
+            instance
+                .label_index
+                .entry(data.label.clone())
+                .or_default()
+                .insert(node);
+            if let Some(value) = data.print {
+                let prior = instance
+                    .printable_index
+                    .insert((data.label.clone(), value.clone()), node);
+                if prior.is_some() {
+                    return Err(GoodError::InvariantViolation(format!(
+                        "duplicate printable node {} = {value}",
+                        data.label
+                    )));
+                }
+            }
+        }
+        instance.validate()?;
+        Ok(instance)
+    }
+
+    // ---- accessors --------------------------------------------------------
+
+    /// The instance's scheme.
+    #[inline]
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Mutable scheme access — crate-internal: only the GOOD operations
+    /// may evolve the scheme, and they keep instance and scheme in sync.
+    #[inline]
+    pub(crate) fn scheme_mut(&mut self) -> &mut Scheme {
+        &mut self.scheme
+    }
+
+    /// The underlying graph (read-only).
+    #[inline]
+    pub fn graph(&self) -> &Graph<NodeData, EdgeData> {
+        &self.graph
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// True if `node` is live.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.graph.contains_node(node)
+    }
+
+    /// The label of a live node.
+    pub fn node_label(&self, node: NodeId) -> Option<&Label> {
+        self.graph.node(node).map(|data| &data.label)
+    }
+
+    /// The print value of a live printable node.
+    pub fn print_value(&self, node: NodeId) -> Option<&Value> {
+        self.graph.node(node).and_then(|data| data.print.as_ref())
+    }
+
+    /// All live nodes with the given label, in deterministic (id) order.
+    pub fn nodes_with_label<'a>(&'a self, label: &Label) -> impl Iterator<Item = NodeId> + 'a {
+        self.label_index
+            .get(label)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Number of live nodes with the given label.
+    pub fn label_count(&self, label: &Label) -> usize {
+        self.label_index.get(label).map_or(0, BTreeSet::len)
+    }
+
+    /// The unique printable node holding `value` under `label`, if any.
+    pub fn find_printable(&self, label: &Label, value: &Value) -> Option<NodeId> {
+        self.printable_index
+            .get(&(label.clone(), value.clone()))
+            .copied()
+    }
+
+    /// The target of the (at most one) functional `λ`-edge leaving
+    /// `node`.
+    pub fn functional_target(&self, node: NodeId, label: &Label) -> Option<NodeId> {
+        self.graph
+            .out_edges(node)
+            .find(|edge| &edge.payload.label == label)
+            .map(|edge| edge.dst)
+    }
+
+    /// All `λ`-successors of `node`, in edge insertion order.
+    pub fn targets<'a>(
+        &'a self,
+        node: NodeId,
+        label: &'a Label,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.graph
+            .out_edges(node)
+            .filter(move |edge| &edge.payload.label == label)
+            .map(|edge| edge.dst)
+    }
+
+    /// All `λ`-predecessors of `node`.
+    pub fn sources<'a>(
+        &'a self,
+        node: NodeId,
+        label: &'a Label,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.graph
+            .in_edges(node)
+            .filter(move |edge| &edge.payload.label == label)
+            .map(|edge| edge.src)
+    }
+
+    /// The `λ`-successor set of `node` as a sorted set — the paper's
+    /// `{r : (m, β, r) ∈ E}`, which abstraction groups by.
+    pub fn target_set(&self, node: NodeId, label: &Label) -> BTreeSet<NodeId> {
+        self.targets(node, label).collect()
+    }
+
+    /// True if the edge `(src, λ, dst)` is present.
+    pub fn has_edge(&self, src: NodeId, label: &Label, dst: NodeId) -> bool {
+        self.graph
+            .out_edges(src)
+            .any(|edge| edge.dst == dst && &edge.payload.label == label)
+    }
+
+    /// The id of the edge `(src, λ, dst)`, if present.
+    pub fn edge_between(&self, src: NodeId, label: &Label, dst: NodeId) -> Option<EdgeId> {
+        self.graph
+            .out_edges(src)
+            .find(|edge| edge.dst == dst && &edge.payload.label == label)
+            .map(|edge| edge.id)
+    }
+
+    // ---- mutation -----------------------------------------------------------
+
+    /// Add an object node of class `label`.
+    pub fn add_object(&mut self, label: impl Into<Label>) -> Result<NodeId> {
+        let label = label.into();
+        match self.scheme.node_kind(&label) {
+            Some(NodeKind::Object) => {}
+            Some(NodeKind::Printable) => {
+                return Err(GoodError::PrintMismatch {
+                    label,
+                    kind: NodeKind::Printable,
+                })
+            }
+            None => return Err(GoodError::UnknownNodeLabel(label)),
+        }
+        let id = self.graph.add_node(NodeData {
+            label: label.clone(),
+            print: None,
+        });
+        self.label_index.entry(label).or_default().insert(id);
+        Ok(id)
+    }
+
+    /// Add (or retrieve) the printable node of class `label` holding
+    /// `value`. Printable nodes are deduplicated, as required by the
+    /// instance definition.
+    pub fn add_printable(
+        &mut self,
+        label: impl Into<Label>,
+        value: impl Into<Value>,
+    ) -> Result<NodeId> {
+        let label = label.into();
+        let value = value.into();
+        let expected = match self.scheme.node_kind(&label) {
+            Some(NodeKind::Printable) => self.scheme.printable_type(&label).expect("printable"),
+            Some(NodeKind::Object) => {
+                return Err(GoodError::PrintMismatch {
+                    label,
+                    kind: NodeKind::Object,
+                })
+            }
+            None => return Err(GoodError::UnknownNodeLabel(label)),
+        };
+        if value.value_type() != expected {
+            return Err(GoodError::ValueTypeMismatch {
+                label,
+                expected,
+                value,
+            });
+        }
+        if let Some(existing) = self.printable_index.get(&(label.clone(), value.clone())) {
+            return Ok(*existing);
+        }
+        let id = self.graph.add_node(NodeData {
+            label: label.clone(),
+            print: Some(value.clone()),
+        });
+        self.label_index
+            .entry(label.clone())
+            .or_default()
+            .insert(id);
+        self.printable_index.insert((label, value), id);
+        Ok(id)
+    }
+
+    /// Add the edge `(src, λ, dst)`, enforcing every invariant.
+    ///
+    /// Edge sets are *sets*: re-adding an existing edge returns the
+    /// existing id. Violations of functionality or target-label
+    /// consistency are errors — the paper's "the result is not defined".
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        label: impl Into<Label>,
+        dst: NodeId,
+    ) -> Result<EdgeId> {
+        let label = label.into();
+        let src_data = self
+            .graph
+            .node(src)
+            .ok_or_else(|| GoodError::DanglingNode(format!("{src:?}")))?
+            .clone();
+        let dst_data = self
+            .graph
+            .node(dst)
+            .ok_or_else(|| GoodError::DanglingNode(format!("{dst:?}")))?
+            .clone();
+        let kind = self
+            .scheme
+            .edge_kind(&label)
+            .ok_or_else(|| GoodError::UnknownEdgeLabel(label.clone()))?;
+        if !self.scheme.allows(&src_data.label, &label, &dst_data.label) {
+            return Err(GoodError::EdgeNotInScheme {
+                src: src_data.label,
+                edge: label,
+                dst: dst_data.label,
+            });
+        }
+        // Set semantics: identical edge already present → reuse.
+        if let Some(existing) = self.edge_between(src, &label, dst) {
+            return Ok(existing);
+        }
+        // Invariants over existing λ-successors of src.
+        for edge in self.graph.out_edges(src) {
+            if edge.payload.label != label {
+                continue;
+            }
+            if kind == EdgeKind::Functional {
+                return Err(GoodError::FunctionalConflict {
+                    edge: label,
+                    src: format!("{}({src:?})", src_data.label),
+                });
+            }
+            let existing_label = self.graph.node(edge.dst).expect("live").label.clone();
+            if existing_label != dst_data.label {
+                return Err(GoodError::TargetLabelConflict {
+                    edge: label,
+                    existing: existing_label,
+                    new: dst_data.label,
+                });
+            }
+        }
+        Ok(self.graph.add_edge(src, dst, EdgeData { label }))
+    }
+
+    /// Delete a node with all incident edges. Deleting a dead node is a
+    /// no-op returning `false`.
+    pub fn delete_node(&mut self, node: NodeId) -> bool {
+        let Some(data) = self.graph.remove_node(node) else {
+            return false;
+        };
+        if let Some(set) = self.label_index.get_mut(&data.label) {
+            set.remove(&node);
+            if set.is_empty() {
+                self.label_index.remove(&data.label);
+            }
+        }
+        if let Some(value) = data.print {
+            self.printable_index.remove(&(data.label, value));
+        }
+        true
+    }
+
+    /// Delete an edge by id. Deleting a dead edge is a no-op returning
+    /// `false`.
+    pub fn delete_edge(&mut self, edge: EdgeId) -> bool {
+        self.graph.remove_edge(edge).is_some()
+    }
+
+    /// Delete the edge `(src, λ, dst)` if present.
+    pub fn delete_edge_between(&mut self, src: NodeId, label: &Label, dst: NodeId) -> bool {
+        match self.edge_between(src, label, dst) {
+            Some(edge) => self.delete_edge(edge),
+            None => false,
+        }
+    }
+
+    /// Restrict this instance to `scheme`: remove every node whose label
+    /// is unknown to `scheme` and every edge whose triple is not in its
+    /// `P` — "the largest subinstance of I that is an instance over S′"
+    /// (footnote 4, the method-interface semantics).
+    pub fn restrict_to_scheme(&mut self, scheme: &Scheme) {
+        let doomed_nodes: Vec<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|n| !scheme.is_node_label(&n.payload.label))
+            .map(|n| n.id)
+            .collect();
+        for node in doomed_nodes {
+            self.delete_node(node);
+        }
+        let doomed_edges: Vec<EdgeId> = self
+            .graph
+            .edges()
+            .filter(|e| {
+                let src = &self.graph.node(e.src).expect("live").label;
+                let dst = &self.graph.node(e.dst).expect("live").label;
+                !scheme.allows(src, &e.payload.label, dst)
+            })
+            .map(|e| e.id)
+            .collect();
+        for edge in doomed_edges {
+            self.delete_edge(edge);
+        }
+        self.scheme = scheme.clone();
+    }
+
+    // ---- validation -----------------------------------------------------
+
+    /// Check every instance invariant from Section 2. The mutators make
+    /// violations unrepresentable; this is the independent auditor used
+    /// by tests and deserialization.
+    pub fn validate(&self) -> Result<()> {
+        self.scheme.validate()?;
+        for node in self.graph.nodes() {
+            let data = node.payload;
+            match self.scheme.node_kind(&data.label) {
+                Some(NodeKind::Object) => {
+                    if data.print.is_some() {
+                        return Err(GoodError::InvariantViolation(format!(
+                            "object node {} carries a print value",
+                            data.label
+                        )));
+                    }
+                }
+                Some(NodeKind::Printable) => {
+                    let Some(value) = &data.print else {
+                        return Err(GoodError::InvariantViolation(format!(
+                            "printable node {} lacks a print value",
+                            data.label
+                        )));
+                    };
+                    let expected = self.scheme.printable_type(&data.label).expect("printable");
+                    if value.value_type() != expected {
+                        return Err(GoodError::InvariantViolation(format!(
+                            "printable node {} holds a {} value, expected {expected}",
+                            data.label,
+                            value.value_type()
+                        )));
+                    }
+                }
+                None => return Err(GoodError::UnknownNodeLabel(data.label.clone())),
+            }
+        }
+        // Printable uniqueness.
+        let mut seen: HashMap<(&Label, &Value), NodeId> = HashMap::new();
+        for node in self.graph.nodes() {
+            if let Some(value) = &node.payload.print {
+                if let Some(previous) = seen.insert((&node.payload.label, value), node.id) {
+                    return Err(GoodError::InvariantViolation(format!(
+                        "printable nodes {previous:?} and {:?} share value {value}",
+                        node.id
+                    )));
+                }
+            }
+        }
+        // Edge conformance + per-(node, label) invariants.
+        for node in self.graph.node_ids() {
+            let mut by_label: HashMap<&Label, Vec<NodeId>> = HashMap::new();
+            for edge in self.graph.out_edges(node) {
+                by_label
+                    .entry(&edge.payload.label)
+                    .or_default()
+                    .push(edge.dst);
+            }
+            let src_label = &self.graph.node(node).expect("live").label;
+            for (label, targets) in by_label {
+                let kind = self
+                    .scheme
+                    .edge_kind(label)
+                    .ok_or_else(|| GoodError::UnknownEdgeLabel(label.clone()))?;
+                if kind == EdgeKind::Functional && targets.len() > 1 {
+                    return Err(GoodError::InvariantViolation(format!(
+                        "functional edge {label} leaves {src_label} {} times",
+                        targets.len()
+                    )));
+                }
+                let mut distinct = BTreeSet::new();
+                for target in &targets {
+                    let dst_label = &self.graph.node(*target).expect("live").label;
+                    distinct.insert(dst_label.clone());
+                    if !self.scheme.allows(src_label, label, dst_label) {
+                        return Err(GoodError::InvariantViolation(format!(
+                            "edge ({src_label}, {label}, {dst_label}) not in P"
+                        )));
+                    }
+                }
+                if distinct.len() > 1 {
+                    return Err(GoodError::InvariantViolation(format!(
+                        "{label}-successors carry different labels: {distinct:?}"
+                    )));
+                }
+            }
+        }
+        // Index integrity.
+        for (label, set) in &self.label_index {
+            for node in set {
+                let data = self.graph.node(*node).ok_or_else(|| {
+                    GoodError::InvariantViolation(format!("index points at dead node {node:?}"))
+                })?;
+                if &data.label != label {
+                    return Err(GoodError::InvariantViolation(format!(
+                        "index label mismatch for {node:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- comparison & rendering -------------------------------------------
+
+    /// Are two instances isomorphic (equal up to the choice of node
+    /// identities)? Node keys are (label, print value); edge keys are
+    /// labels.
+    pub fn isomorphic_to(&self, other: &Instance) -> bool {
+        good_graph::iso::isomorphic(
+            &self.graph,
+            &other.graph,
+            |n| (n.label.clone(), n.print.clone()),
+            |n| (n.label.clone(), n.print.clone()),
+            |e| e.label.clone(),
+            |e| e.label.clone(),
+        )
+    }
+
+    /// Render as Graphviz DOT in the paper's conventions.
+    pub fn to_dot(&self, title: &str) -> String {
+        let scheme = &self.scheme;
+        good_graph::dot::to_dot(
+            &self.graph,
+            title,
+            |_, data| {
+                let mut label = data.label.as_str().to_string();
+                if let Some(value) = &data.print {
+                    label.push('\n');
+                    label.push_str(&value.to_string());
+                }
+                if scheme.is_printable_label(&data.label) {
+                    DotNode::oval(label)
+                } else {
+                    DotNode::boxed(label)
+                }
+            },
+            |data| DotEdge {
+                label: data.label.as_str().into(),
+                double_arrow: scheme.edge_kind(&data.label) == Some(EdgeKind::Multivalued),
+                bold: false,
+                dashed: false,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SchemeBuilder;
+    use crate::value::ValueType;
+
+    fn scheme() -> Scheme {
+        SchemeBuilder::new()
+            .object("Info")
+            .object("Version")
+            .printable("String", ValueType::Str)
+            .printable("Date", ValueType::Date)
+            .functional("Info", "name", "String")
+            .functional("Info", "created", "Date")
+            .functional("Version", "old", "Info")
+            .functional("Version", "new", "Info")
+            .multivalued("Info", "links-to", "Info")
+            .build()
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut db = Instance::new(scheme());
+        let info = db.add_object("Info").unwrap();
+        let name = db.add_printable("String", "Rock").unwrap();
+        db.add_edge(info, "name", name).unwrap();
+        assert_eq!(db.node_count(), 2);
+        assert_eq!(db.edge_count(), 1);
+        assert_eq!(db.functional_target(info, &"name".into()), Some(name));
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn printable_nodes_are_deduplicated() {
+        let mut db = Instance::new(scheme());
+        let a = db.add_printable("Date", Value::date(1990, 1, 12)).unwrap();
+        let b = db.add_printable("Date", Value::date(1990, 1, 12)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(db.node_count(), 1);
+        let c = db.add_printable("Date", Value::date(1990, 1, 14)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn printable_value_type_checked() {
+        let mut db = Instance::new(scheme());
+        assert!(matches!(
+            db.add_printable("Date", "not a date"),
+            Err(GoodError::ValueTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn object_vs_printable_confusion_rejected() {
+        let mut db = Instance::new(scheme());
+        assert!(matches!(
+            db.add_object("String"),
+            Err(GoodError::PrintMismatch { .. })
+        ));
+        assert!(matches!(
+            db.add_printable("Info", "x"),
+            Err(GoodError::PrintMismatch { .. })
+        ));
+        assert!(matches!(
+            db.add_object("Nope"),
+            Err(GoodError::UnknownNodeLabel(_))
+        ));
+    }
+
+    #[test]
+    fn edges_must_conform_to_scheme() {
+        let mut db = Instance::new(scheme());
+        let version = db.add_object("Version").unwrap();
+        let name = db.add_printable("String", "x").unwrap();
+        assert!(matches!(
+            db.add_edge(version, "name", name),
+            Err(GoodError::EdgeNotInScheme { .. })
+        ));
+        let info = db.add_object("Info").unwrap();
+        assert!(matches!(
+            db.add_edge(info, "unknown", name),
+            Err(GoodError::UnknownEdgeLabel(_))
+        ));
+    }
+
+    #[test]
+    fn functional_edges_are_single_valued() {
+        let mut db = Instance::new(scheme());
+        let info = db.add_object("Info").unwrap();
+        let a = db.add_printable("String", "a").unwrap();
+        let b = db.add_printable("String", "b").unwrap();
+        db.add_edge(info, "name", a).unwrap();
+        assert!(matches!(
+            db.add_edge(info, "name", b),
+            Err(GoodError::FunctionalConflict { .. })
+        ));
+        // Idempotent re-add of the same edge succeeds.
+        db.add_edge(info, "name", a).unwrap();
+        assert_eq!(db.edge_count(), 1);
+    }
+
+    #[test]
+    fn multivalued_edges_are_sets() {
+        let mut db = Instance::new(scheme());
+        let a = db.add_object("Info").unwrap();
+        let b = db.add_object("Info").unwrap();
+        let e1 = db.add_edge(a, "links-to", b).unwrap();
+        let e2 = db.add_edge(a, "links-to", b).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(db.edge_count(), 1);
+        let c = db.add_object("Info").unwrap();
+        db.add_edge(a, "links-to", c).unwrap();
+        assert_eq!(db.targets(a, &"links-to".into()).count(), 2);
+    }
+
+    #[test]
+    fn target_label_consistency_enforced() {
+        // A scheme where comment may point at String or Number —
+        // per-node, the successors must still agree on one label.
+        let s = SchemeBuilder::new()
+            .object("Info")
+            .printable("String", ValueType::Str)
+            .printable("Number", ValueType::Int)
+            .multivalued("Info", "comment", "String")
+            .multivalued("Info", "comment", "Number")
+            .build();
+        let mut db = Instance::new(s);
+        let info = db.add_object("Info").unwrap();
+        let text = db.add_printable("String", "hello").unwrap();
+        let num = db.add_printable("Number", 5i64).unwrap();
+        db.add_edge(info, "comment", text).unwrap();
+        assert!(matches!(
+            db.add_edge(info, "comment", num),
+            Err(GoodError::TargetLabelConflict { .. })
+        ));
+        // A different Info node may use the other label.
+        let info2 = db.add_object("Info").unwrap();
+        db.add_edge(info2, "comment", num).unwrap();
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_node_cleans_indexes() {
+        let mut db = Instance::new(scheme());
+        let info = db.add_object("Info").unwrap();
+        let name = db.add_printable("String", "Rock").unwrap();
+        db.add_edge(info, "name", name).unwrap();
+        assert!(db.delete_node(name));
+        assert_eq!(db.edge_count(), 0);
+        assert_eq!(
+            db.find_printable(&"String".into(), &Value::str("Rock")),
+            None
+        );
+        assert_eq!(db.label_count(&"String".into()), 0);
+        // Deleting again is a no-op.
+        assert!(!db.delete_node(name));
+        db.validate().unwrap();
+        // The value can be re-added afterwards.
+        db.add_printable("String", "Rock").unwrap();
+    }
+
+    #[test]
+    fn delete_edge_between() {
+        let mut db = Instance::new(scheme());
+        let a = db.add_object("Info").unwrap();
+        let b = db.add_object("Info").unwrap();
+        db.add_edge(a, "links-to", b).unwrap();
+        assert!(db.delete_edge_between(a, &"links-to".into(), b));
+        assert!(!db.delete_edge_between(a, &"links-to".into(), b));
+        assert_eq!(db.edge_count(), 0);
+    }
+
+    #[test]
+    fn incomplete_information_is_fine() {
+        // "There could even be info nodes without any outgoing edges."
+        let mut db = Instance::new(scheme());
+        db.add_object("Info").unwrap();
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn restrict_to_scheme_drops_foreign_parts() {
+        let mut db = Instance::new(scheme());
+        let info = db.add_object("Info").unwrap();
+        let name = db.add_printable("String", "x").unwrap();
+        db.add_edge(info, "name", name).unwrap();
+        // Extend the scheme with a temporary class and tag the node.
+        db.scheme_mut().add_object_label("Temp").unwrap();
+        db.scheme_mut().add_functional("Temp", "t", "Info").unwrap();
+        let temp = db.add_object("Temp").unwrap();
+        db.add_edge(temp, "t", info).unwrap();
+        let original = scheme();
+        db.restrict_to_scheme(&original);
+        assert_eq!(db.label_count(&"Temp".into()), 0);
+        assert_eq!(db.node_count(), 2);
+        assert_eq!(db.edge_count(), 1);
+        assert_eq!(db.scheme(), &original);
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn isomorphism_up_to_node_identity() {
+        let build = |names: [&str; 2]| {
+            let mut db = Instance::new(scheme());
+            let a = db.add_object("Info").unwrap();
+            let b = db.add_object("Info").unwrap();
+            let na = db.add_printable("String", names[0]).unwrap();
+            let nb = db.add_printable("String", names[1]).unwrap();
+            db.add_edge(a, "name", na).unwrap();
+            db.add_edge(b, "name", nb).unwrap();
+            db.add_edge(a, "links-to", b).unwrap();
+            db
+        };
+        let x = build(["Rock", "Jazz"]);
+        let y = build(["Rock", "Jazz"]);
+        let z = build(["Rock", "Blues"]);
+        assert!(x.isomorphic_to(&y));
+        assert!(!x.isomorphic_to(&z));
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_indexes() {
+        let mut db = Instance::new(scheme());
+        let info = db.add_object("Info").unwrap();
+        let name = db.add_printable("String", "Rock").unwrap();
+        db.add_edge(info, "name", name).unwrap();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert!(back.isomorphic_to(&db));
+        assert!(back
+            .find_printable(&"String".into(), &Value::str("Rock"))
+            .is_some());
+    }
+
+    #[test]
+    fn dot_contains_print_values() {
+        let mut db = Instance::new(scheme());
+        let info = db.add_object("Info").unwrap();
+        let name = db.add_printable("String", "Rock").unwrap();
+        db.add_edge(info, "name", name).unwrap();
+        let dot = db.to_dot("instance");
+        assert!(dot.contains("String\\nRock"));
+        assert!(dot.contains("shape=box"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Labels — the type names of the GOOD model.
+//!
+//! The paper assumes four pairwise-disjoint, infinitely enumerable sets:
+//! object labels (`OL`), printable object labels (`POL`), functional edge
+//! labels (`FEL`) and multivalued edge labels (`MEL`). We represent all of
+//! them with one interned string type, [`Label`]; *which* of the four
+//! universes a label inhabits is recorded by the [`Scheme`](crate::scheme::Scheme),
+//! which enforces the disjointness requirement at registration time.
+//!
+//! Labels starting with `'$'` are **reserved for the system**: the method
+//! machinery of Section 3.6 generates fresh frame labels (`$frame:...`)
+//! and the unlabeled receiver edge of a method head is modeled as the
+//! reserved edge label [`RECEIVER_EDGE`]. User-facing constructors reject
+//! reserved names so user schemes can never collide with machinery.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned label (class name or edge name).
+///
+/// Cloning is cheap (an `Arc` bump); comparison and hashing operate on
+/// the string contents so labels behave as values.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Label(Arc<str>);
+
+/// The reserved edge label modeling the *unlabeled* receiver edge of a
+/// method head node (Section 3.6).
+pub const RECEIVER_EDGE: &str = "$recv";
+
+/// The receiver-edge [`Label`] (`$recv`) — the only system label users
+/// legitimately need, to draw the unlabeled binding edge from a method
+/// head to its receiver in method bodies.
+pub fn receiver_label() -> Label {
+    Label::system(RECEIVER_EDGE)
+}
+
+impl Label {
+    /// Create a user label.
+    ///
+    /// # Panics
+    /// Panics if the name is empty or starts with the reserved `'$'`
+    /// prefix — both are programming errors at scheme-design time.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        assert!(!name.is_empty(), "label names must be non-empty");
+        assert!(
+            !name.starts_with('$'),
+            "label names starting with '$' are reserved for the system: {name:?}"
+        );
+        Label(Arc::from(name))
+    }
+
+    /// Create a system label (reserved namespace). Used by the method
+    /// machinery for frame labels and the receiver edge.
+    pub(crate) fn system(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        debug_assert!(name.starts_with('$'), "system labels must start with '$'");
+        Label(Arc::from(name))
+    }
+
+    /// The label text.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True if this label lives in the reserved system namespace.
+    #[inline]
+    pub fn is_system(&self) -> bool {
+        self.0.starts_with('$')
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.0)
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Label {
+    fn from(name: &str) -> Self {
+        Label::new(name)
+    }
+}
+
+impl From<String> for Label {
+    fn from(name: String) -> Self {
+        Label::new(name)
+    }
+}
+
+/// Which of the two node-label universes a label belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// User-defined object classes (`OL`, drawn as rectangles).
+    Object,
+    /// System-defined printable classes (`POL`, drawn as ovals).
+    Printable,
+}
+
+/// Which of the two edge-label universes a label belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Functional edge labels (`FEL`, drawn `→`): at most one edge with
+    /// this label leaves any node.
+    Functional,
+    /// Multivalued edge labels (`MEL`, drawn `↠`).
+    Multivalued,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::Functional => f.write_str("functional"),
+            EdgeKind::Multivalued => f.write_str("multivalued"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn labels_compare_by_content() {
+        let a = Label::new("Info");
+        let b = Label::new("Info");
+        let c = Label::new("Date");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        assert!(set.contains("Info")); // Borrow<str>
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let label = Label::new("links-to");
+        assert_eq!(label.to_string(), "links-to");
+        assert_eq!(format!("{label:?}"), "`links-to`");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn user_labels_cannot_use_system_namespace() {
+        Label::new("$frame:Update:0");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_labels_rejected() {
+        Label::new("");
+    }
+
+    #[test]
+    fn system_labels_flagged() {
+        let frame = Label::system("$frame:M:1");
+        assert!(frame.is_system());
+        assert!(!Label::new("frame").is_system());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let label = Label::new("Info");
+        let json = serde_json::to_string(&label).unwrap();
+        assert_eq!(json, "\"Info\"");
+        let back: Label = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, label);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut labels = [Label::new("c"), Label::new("a"), Label::new("b")];
+        labels.sort();
+        let names: Vec<_> = labels.iter().map(|l| l.as_str().to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

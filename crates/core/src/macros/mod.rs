@@ -1,0 +1,32 @@
+//! Macros (Section 4.1) — graphical conveniences that compile to the
+//! five basic operations without adding expressive power.
+//!
+//! * [`negation`] — patterns with crossed parts (Figures 26–27);
+//! * [`recursion`] — starred recursive edge additions (Figures 28–29);
+//! * [`setbuild`] — building explicit set objects (Figures 12–13);
+//! * [`update`] — replacing a functional property (Figure 16).
+//!
+//! The fourth macro family of Section 4.1, *additional predicates on
+//! printable objects*, lives directly on patterns
+//! ([`crate::pattern::ValuePredicate`]) because the matcher evaluates it
+//! inline.
+//!
+//! Each macro provides both (a) an *expansion* into a [`Program`] of
+//! core operations — the paper's proof obligation that macros are mere
+//! sugar — and (b) a direct evaluation path; the test suites check the
+//! two agree.
+
+pub mod abstraction_ext;
+pub mod negation;
+pub mod recursion;
+pub mod setbuild;
+pub mod update;
+
+pub use abstraction_ext::{abstraction_over_functional, abstraction_over_two_properties};
+pub use negation::{expand_negation, NegationExpansion};
+pub use recursion::{transitive_closure_method, RecursiveEdgeAddition};
+pub use setbuild::build_set;
+pub use update::set_functional_to_printable;
+
+#[allow(unused_imports)]
+use crate::program::Program; // for intra-doc links

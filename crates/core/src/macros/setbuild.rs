@@ -1,0 +1,119 @@
+//! Set building (Figures 12–13).
+//!
+//! "Combinations of node and edge additions are useful for generating
+//! objects corresponding to sets": first a node addition over the empty
+//! pattern introduces a single set object, then a multivalued edge
+//! addition connects every member matched by a pattern.
+
+use crate::error::Result;
+use crate::instance::Instance;
+use crate::label::Label;
+use crate::ops::{EdgeAddition, NodeAddition, OpReport};
+use crate::pattern::Pattern;
+use crate::program::Env;
+use good_graph::NodeId;
+
+/// Build (or reuse) the singleton set object labeled `set_label` and
+/// connect it via multivalued `member_edge` edges to every image of
+/// `member_node` under `member_pattern`.
+///
+/// Returns the set node and the edge-addition report.
+pub fn build_set(
+    db: &mut Instance,
+    env: &mut Env,
+    set_label: impl Into<Label>,
+    member_pattern: Pattern,
+    member_node: NodeId,
+    member_edge: impl Into<Label>,
+) -> Result<(NodeId, OpReport)> {
+    let set_label = set_label.into();
+    let member_edge = member_edge.into();
+
+    // Figure 12: the empty-pattern node addition (idempotent: at most
+    // one set object ever exists).
+    env.burn_fuel()?;
+    NodeAddition::new(Pattern::new(), set_label.clone(), []).apply(db)?;
+    let set_node = db
+        .nodes_with_label(&set_label)
+        .next()
+        .expect("the empty-pattern NA guarantees one node");
+
+    // Figure 13: connect the members.
+    let mut pattern = member_pattern;
+    let set_in_pattern = pattern.node(set_label);
+    let ea = EdgeAddition::multivalued(pattern, set_in_pattern, member_edge, member_node);
+    env.burn_fuel()?;
+    let report = ea.apply(db)?;
+    Ok((set_node, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SchemeBuilder;
+    use crate::value::{Value, ValueType};
+
+    fn setup() -> Instance {
+        let scheme = SchemeBuilder::new()
+            .object("Info")
+            .printable("Date", ValueType::Date)
+            .functional("Info", "created", "Date")
+            .build();
+        let mut db = Instance::new(scheme);
+        for (day, count) in [(12, 2), (14, 3)] {
+            let date = db.add_printable("Date", Value::date(1990, 1, day)).unwrap();
+            for _ in 0..count {
+                let info = db.add_object("Info").unwrap();
+                db.add_edge(info, "created", date).unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn figures_12_13_collect_jan_14_infos() {
+        let mut db = setup();
+        let mut env = Env::new();
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let date = p.printable("Date", Value::date(1990, 1, 14));
+        p.edge(info, "created", date);
+        let (set, report) =
+            build_set(&mut db, &mut env, "Created-Jan-14", p, info, "contains").unwrap();
+        assert_eq!(report.edges_added, 3);
+        assert_eq!(db.targets(set, &"contains".into()).count(), 3);
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn build_set_is_idempotent_and_reuses_the_set_object() {
+        let mut db = setup();
+        let mut env = Env::new();
+        let make = |db: &mut Instance, env: &mut Env| {
+            let mut p = Pattern::new();
+            let info = p.node("Info");
+            let date = p.printable("Date", Value::date(1990, 1, 14));
+            p.edge(info, "created", date);
+            build_set(db, env, "S", p, info, "contains").unwrap()
+        };
+        let (set1, _) = make(&mut db, &mut env);
+        let (set2, report2) = make(&mut db, &mut env);
+        assert_eq!(set1, set2);
+        assert_eq!(report2.edges_added, 0);
+        assert_eq!(db.label_count(&"S".into()), 1);
+    }
+
+    #[test]
+    fn empty_member_pattern_builds_empty_set() {
+        let mut db = setup();
+        let mut env = Env::new();
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let date = p.printable("Date", Value::date(1990, 2, 1));
+        p.edge(info, "created", date);
+        let (set, report) = build_set(&mut db, &mut env, "Empty", p, info, "has").unwrap();
+        assert_eq!(report.edges_added, 0);
+        assert_eq!(db.targets(set, &"has".into()).count(), 0);
+        assert!(db.contains_node(set));
+    }
+}

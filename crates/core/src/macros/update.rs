@@ -1,0 +1,152 @@
+//! The update macro (Figure 16).
+//!
+//! "Suppose we modified the info node ... we need to update the
+//! last-modified property": an edge deletion removing the old functional
+//! edge followed by an edge addition installing the new one.
+
+use crate::error::Result;
+use crate::instance::Instance;
+use crate::label::Label;
+use crate::ops::{EdgeAddition, EdgeDeletion, OpReport};
+use crate::pattern::Pattern;
+use crate::program::Env;
+use crate::value::Value;
+use good_graph::NodeId;
+
+/// Set the functional property `edge` of every image of `receiver`
+/// under `selector` to the printable `(target_label, value)`, replacing
+/// any previous value.
+///
+/// The printable node is created through the system channel if absent
+/// (the paper: "printable nodes are system-defined and need not be
+/// explicitly added").
+pub fn set_functional_to_printable(
+    db: &mut Instance,
+    env: &mut Env,
+    selector: &Pattern,
+    receiver: NodeId,
+    edge: impl Into<Label>,
+    target_label: impl Into<Label>,
+    value: impl Into<Value>,
+) -> Result<OpReport> {
+    let edge = edge.into();
+    let target_label = target_label.into();
+    let value = value.into();
+
+    // Ensure the printable constant exists.
+    db.add_printable(target_label.clone(), value.clone())?;
+
+    // Step 1 (ED): delete the existing edge, whatever it points at.
+    let mut p1 = selector.clone();
+    let old = p1.node(target_label.clone());
+    p1.edge(receiver, edge.clone(), old);
+    env.burn_fuel()?;
+    let mut report = EdgeDeletion::single(p1, receiver, edge.clone(), old).apply(db)?;
+
+    // Step 2 (EA): add the new edge.
+    let mut p2 = selector.clone();
+    let new = p2.printable(target_label, value);
+    env.burn_fuel()?;
+    let add_report = EdgeAddition::functional(p2, receiver, edge, new).apply(db)?;
+    report.absorb(&add_report);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SchemeBuilder;
+    use crate::value::ValueType;
+
+    fn setup() -> (Instance, NodeId, NodeId) {
+        let scheme = SchemeBuilder::new()
+            .object("Info")
+            .printable("String", ValueType::Str)
+            .printable("Date", ValueType::Date)
+            .functional("Info", "name", "String")
+            .functional("Info", "modified", "Date")
+            .build();
+        let mut db = Instance::new(scheme);
+        let music = db.add_object("Info").unwrap();
+        let other = db.add_object("Info").unwrap();
+        for (node, name) in [(music, "Music History"), (other, "Other")] {
+            let s = db.add_printable("String", name).unwrap();
+            db.add_edge(node, "name", s).unwrap();
+        }
+        let d14 = db.add_printable("Date", Value::date(1990, 1, 14)).unwrap();
+        db.add_edge(music, "modified", d14).unwrap();
+        db.add_edge(other, "modified", d14).unwrap();
+        (db, music, other)
+    }
+
+    fn music_selector() -> (Pattern, NodeId) {
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let name = p.printable("String", "Music History");
+        p.edge(info, "name", name);
+        (p, info)
+    }
+
+    #[test]
+    fn figure16_updates_only_matched_receivers() {
+        let (mut db, music, other) = setup();
+        let (selector, info) = music_selector();
+        set_functional_to_printable(
+            &mut db,
+            &mut Env::new(),
+            &selector,
+            info,
+            "modified",
+            "Date",
+            Value::date(1990, 1, 16),
+        )
+        .unwrap();
+        let music_date = db.functional_target(music, &"modified".into()).unwrap();
+        assert_eq!(db.print_value(music_date), Some(&Value::date(1990, 1, 16)));
+        let other_date = db.functional_target(other, &"modified".into()).unwrap();
+        assert_eq!(db.print_value(other_date), Some(&Value::date(1990, 1, 14)));
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn update_installs_property_when_absent() {
+        let (mut db, music, _) = setup();
+        // Remove the property first.
+        let date = db.functional_target(music, &"modified".into()).unwrap();
+        db.delete_edge_between(music, &"modified".into(), date);
+        let (selector, info) = music_selector();
+        set_functional_to_printable(
+            &mut db,
+            &mut Env::new(),
+            &selector,
+            info,
+            "modified",
+            "Date",
+            Value::date(1990, 1, 16),
+        )
+        .unwrap();
+        assert!(db.functional_target(music, &"modified".into()).is_some());
+    }
+
+    #[test]
+    fn update_is_idempotent() {
+        let (mut db, _, _) = setup();
+        let (selector, info) = music_selector();
+        let run = |db: &mut Instance| {
+            set_functional_to_printable(
+                db,
+                &mut Env::new(),
+                &selector,
+                info,
+                "modified",
+                "Date",
+                Value::date(1990, 1, 16),
+            )
+            .unwrap()
+        };
+        run(&mut db);
+        let snapshot = db.clone();
+        run(&mut db);
+        assert!(db.isomorphic_to(&snapshot));
+    }
+}

@@ -1,0 +1,754 @@
+//! Pattern matching — the engine every GOOD operation is driven by.
+//!
+//! Section 3 of the paper: "a matching of J in I is a total mapping
+//! `i : M → N` satisfying (1) labels are preserved, (2) print labels are
+//! preserved, (3) edges are preserved." Matchings are graph
+//! homomorphisms — *not* required to be injective.
+//!
+//! Two engines are provided:
+//!
+//! * [`find_matchings`] — the production engine: backtracking search
+//!   with dynamic most-constrained-node selection, candidate derivation
+//!   from the instance's label/printable indexes and from edges to
+//!   already-bound neighbours. Handles crossed (negated) parts by the
+//!   paper's extension semantics and printable predicates.
+//! * [`find_matchings_naive`] — candidate cross-product enumeration with
+//!   a post-hoc edge filter. Exponential; kept as differential-testing
+//!   ground truth and as the baseline of benchmark E1.
+//!
+//! Both return matchings in a canonical deterministic order so that the
+//! set-oriented operations of Section 3 are reproducible run to run.
+
+use crate::error::{GoodError, Result};
+use crate::instance::Instance;
+use crate::pattern::{Pattern, PatternNode, PatternNodeKind};
+use good_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A matching: a total mapping from pattern nodes to instance nodes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Matching(BTreeMap<NodeId, NodeId>);
+
+impl Matching {
+    /// The image of a pattern node.
+    ///
+    /// # Panics
+    /// Panics if `pattern_node` is not in the matching's domain — GOOD
+    /// operations only ever ask for nodes of their own source pattern.
+    pub fn image(&self, pattern_node: NodeId) -> NodeId {
+        self.0[&pattern_node]
+    }
+
+    /// The image, or `None` when outside the domain.
+    pub fn get(&self, pattern_node: NodeId) -> Option<NodeId> {
+        self.0.get(&pattern_node).copied()
+    }
+
+    /// Iterate over `(pattern node, instance node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.0.iter().map(|(p, i)| (*p, *i))
+    }
+
+    /// Number of bound pattern nodes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty matching (of the empty pattern).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Build from pairs (for tests).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        Matching(pairs.into_iter().collect())
+    }
+}
+
+/// Does the instance node `candidate` satisfy `node`'s local constraints
+/// (label, print value, predicate)?
+fn node_compatible(instance: &Instance, node: &PatternNode, candidate: NodeId) -> bool {
+    let PatternNodeKind::Class(label) = &node.kind else {
+        return false;
+    };
+    if instance.node_label(candidate) != Some(label) {
+        return false;
+    }
+    if let Some(required) = &node.print {
+        if instance.print_value(candidate) != Some(required) {
+            return false;
+        }
+    }
+    if let Some(predicate) = &node.predicate {
+        match instance.print_value(candidate) {
+            Some(value) if predicate.matches(value) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// The backtracking core: extend `binding` to cover all of `order`,
+/// invoking `on_match` for each complete assignment. Returns `false`
+/// from `on_match` to stop the search early.
+struct Search<'a> {
+    pattern: &'a Pattern,
+    instance: &'a Instance,
+    nodes: Vec<NodeId>,
+}
+
+impl<'a> Search<'a> {
+    /// Candidate instance nodes for `pnode` given the current partial
+    /// `binding`, cheapest source first.
+    fn candidates(&self, pnode: NodeId, binding: &BTreeMap<NodeId, NodeId>) -> Vec<NodeId> {
+        let data = self.pattern.graph().node(pnode).expect("live pattern node");
+        let PatternNodeKind::Class(label) = &data.kind else {
+            return Vec::new();
+        };
+        // Exact printable value: at most one candidate via the index.
+        if let Some(value) = &data.print {
+            return match self.instance.find_printable(label, value) {
+                Some(node) => vec![node],
+                None => Vec::new(),
+            };
+        }
+        // Prefer deriving candidates from a bound neighbour: follow the
+        // connecting edge in the instance.
+        let mut best: Option<Vec<NodeId>> = None;
+        for edge in self.pattern.graph().out_edges(pnode) {
+            if edge.payload.negated {
+                continue;
+            }
+            if let Some(&bound) = binding.get(&edge.dst) {
+                let cands: Vec<NodeId> = self
+                    .instance
+                    .sources(bound, &edge.payload.label)
+                    .filter(|c| node_compatible(self.instance, data, *c))
+                    .collect();
+                if best.as_ref().is_none_or(|b| cands.len() < b.len()) {
+                    best = Some(cands);
+                }
+            }
+        }
+        for edge in self.pattern.graph().in_edges(pnode) {
+            if edge.payload.negated {
+                continue;
+            }
+            if let Some(&bound) = binding.get(&edge.src) {
+                let cands: Vec<NodeId> = self
+                    .instance
+                    .targets(bound, &edge.payload.label)
+                    .filter(|c| node_compatible(self.instance, data, *c))
+                    .collect();
+                if best.as_ref().is_none_or(|b| cands.len() < b.len()) {
+                    best = Some(cands);
+                }
+            }
+        }
+        if let Some(cands) = best {
+            let mut cands = cands;
+            cands.sort();
+            cands.dedup();
+            return cands;
+        }
+        // Fall back to the label index.
+        self.instance
+            .nodes_with_label(label)
+            .filter(|c| node_compatible(self.instance, data, *c))
+            .collect()
+    }
+
+    /// All (non-negated) pattern edges between bound nodes must exist in
+    /// the instance once both endpoints are bound. We check edges
+    /// incident to the node just bound.
+    fn edges_consistent(&self, pnode: NodeId, binding: &BTreeMap<NodeId, NodeId>) -> bool {
+        let image = binding[&pnode];
+        for edge in self.pattern.graph().out_edges(pnode) {
+            if edge.payload.negated {
+                continue;
+            }
+            if let Some(&dst) = binding.get(&edge.dst) {
+                if !self.instance.has_edge(image, &edge.payload.label, dst) {
+                    return false;
+                }
+            }
+        }
+        for edge in self.pattern.graph().in_edges(pnode) {
+            if edge.payload.negated {
+                continue;
+            }
+            // Self-loops were handled by the out_edges pass.
+            if edge.src == pnode {
+                continue;
+            }
+            if let Some(&src) = binding.get(&edge.src) {
+                if !self.instance.has_edge(src, &edge.payload.label, image) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A cheap upper-bound estimate of `pnode`'s candidate count under
+    /// the current binding, without materializing the list. Used for
+    /// most-constrained-node selection: full lists are built only for
+    /// the node actually chosen, which keeps a k-node pattern on an
+    /// n-node instance near O(n·dᵏ⁻¹) instead of O(k·n) *per step*.
+    fn candidate_estimate(&self, pnode: NodeId, binding: &BTreeMap<NodeId, NodeId>) -> usize {
+        let data = self.pattern.graph().node(pnode).expect("live pattern node");
+        let PatternNodeKind::Class(label) = &data.kind else {
+            return 0;
+        };
+        if data.print.is_some() {
+            return 1;
+        }
+        let mut best = self.instance.label_count(label);
+        for edge in self.pattern.graph().out_edges(pnode) {
+            if edge.payload.negated {
+                continue;
+            }
+            if let Some(&bound) = binding.get(&edge.dst) {
+                best = best.min(self.instance.sources(bound, &edge.payload.label).count());
+            }
+        }
+        for edge in self.pattern.graph().in_edges(pnode) {
+            if edge.payload.negated {
+                continue;
+            }
+            if let Some(&bound) = binding.get(&edge.src) {
+                best = best.min(self.instance.targets(bound, &edge.payload.label).count());
+            }
+        }
+        best
+    }
+
+    fn solve(
+        &self,
+        binding: &mut BTreeMap<NodeId, NodeId>,
+        on_match: &mut impl FnMut(&BTreeMap<NodeId, NodeId>) -> bool,
+    ) -> bool {
+        if binding.len() == self.nodes.len() {
+            return on_match(binding);
+        }
+        // Most-constrained-node selection on cheap estimates; only the
+        // winner's candidate list is materialized.
+        let next = self
+            .nodes
+            .iter()
+            .filter(|n| !binding.contains_key(n))
+            .map(|&n| (self.candidate_estimate(n, binding), n))
+            .min()
+            .map(|(_, n)| n)
+            .expect("at least one unbound node");
+        let candidates = self.candidates(next, binding);
+        for candidate in candidates {
+            binding.insert(next, candidate);
+            if self.edges_consistent(next, binding) && !self.solve(binding, on_match) {
+                return false;
+            }
+            binding.remove(&next);
+        }
+        true
+    }
+}
+
+/// Can `matching` (over the positive part) be extended to a matching of
+/// the complete (unnegated) pattern?
+fn extends_to_full(pattern: &Pattern, instance: &Instance, matching: &Matching) -> bool {
+    let full = pattern.unnegated();
+    let nodes: Vec<NodeId> = full.graph().node_ids().collect();
+    let mut binding: BTreeMap<NodeId, NodeId> = matching.0.clone();
+    // Pre-bound part must already satisfy the full pattern's edges among
+    // bound nodes (crossed edges between positive nodes).
+    for &node in matching.0.keys() {
+        let search = Search {
+            pattern: &full,
+            instance,
+            nodes: nodes.clone(),
+        };
+        if !search.edges_consistent(node, &binding) {
+            return false;
+        }
+    }
+    let search = Search {
+        pattern: &full,
+        instance,
+        nodes,
+    };
+    let mut found = false;
+    search.solve(&mut binding, &mut |_| {
+        found = true;
+        false // stop at first witness
+    });
+    found
+}
+
+/// Find all matchings of `pattern` in `instance`, in canonical order.
+///
+/// Crossed parts are evaluated with the paper's semantics: a matching of
+/// the positive part survives iff it *cannot* be enlarged to the
+/// complete pattern (Section 4.1, Figure 27).
+/// # Example
+///
+/// ```
+/// use good_core::prelude::*;
+///
+/// let scheme = SchemeBuilder::new()
+///     .object("Info")
+///     .multivalued("Info", "links-to", "Info")
+///     .build();
+/// let mut db = Instance::new(scheme);
+/// let a = db.add_object("Info")?;
+/// let b = db.add_object("Info")?;
+/// db.add_edge(a, "links-to", b)?;
+///
+/// let mut pattern = Pattern::new();
+/// let src = pattern.node("Info");
+/// let dst = pattern.node("Info");
+/// pattern.edge(src, "links-to", dst);
+///
+/// let matchings = find_matchings(&pattern, &db)?;
+/// assert_eq!(matchings.len(), 1);
+/// assert_eq!(matchings[0].image(src), a);
+/// assert_eq!(matchings[0].image(dst), b);
+/// # Ok::<(), GoodError>(())
+/// ```
+pub fn find_matchings(pattern: &Pattern, instance: &Instance) -> Result<Vec<Matching>> {
+    if pattern.has_method_head() {
+        return Err(GoodError::InvalidPattern(
+            "patterns with method-head nodes must be rewritten by a method call before matching"
+                .into(),
+        ));
+    }
+    pattern.validate(instance.scheme())?;
+
+    let positive = pattern.positive_part();
+    let nodes: Vec<NodeId> = positive.graph().node_ids().collect();
+    let search = Search {
+        pattern: &positive,
+        instance,
+        nodes,
+    };
+    let mut results = Vec::new();
+    let mut binding = BTreeMap::new();
+    search.solve(&mut binding, &mut |complete| {
+        results.push(Matching(complete.clone()));
+        true
+    });
+    results.sort();
+    results.dedup();
+
+    if pattern.has_negation() {
+        results.retain(|m| !extends_to_full(pattern, instance, m));
+    }
+    Ok(results)
+}
+
+/// True if the pattern matches at least once (early-exit variant).
+pub fn matches_once(pattern: &Pattern, instance: &Instance) -> Result<bool> {
+    // Negation requires full enumeration of the positive part anyway
+    // only per-matching; reuse find_matchings for simplicity there.
+    if pattern.has_negation() {
+        return Ok(!find_matchings(pattern, instance)?.is_empty());
+    }
+    if pattern.has_method_head() {
+        return Err(GoodError::InvalidPattern(
+            "patterns with method-head nodes must be rewritten before matching".into(),
+        ));
+    }
+    pattern.validate(instance.scheme())?;
+    let nodes: Vec<NodeId> = pattern.graph().node_ids().collect();
+    let search = Search {
+        pattern,
+        instance,
+        nodes,
+    };
+    let mut found = false;
+    let mut binding = BTreeMap::new();
+    search.solve(&mut binding, &mut |_| {
+        found = true;
+        false
+    });
+    Ok(found)
+}
+
+/// Ablation variant of [`find_matchings`]: backtracking with the same
+/// candidate derivation but a *static* node order (pattern-node id
+/// order) instead of dynamic most-constrained-node selection. Exists to
+/// quantify, in benchmark E1, how much the selection heuristic buys.
+pub fn find_matchings_static_order(
+    pattern: &Pattern,
+    instance: &Instance,
+) -> Result<Vec<Matching>> {
+    if pattern.has_method_head() {
+        return Err(GoodError::InvalidPattern(
+            "patterns with method-head nodes must be rewritten before matching".into(),
+        ));
+    }
+    pattern.validate(instance.scheme())?;
+    let positive = pattern.positive_part();
+    let mut order: Vec<NodeId> = positive.graph().node_ids().collect();
+    order.sort();
+    let search = Search {
+        pattern: &positive,
+        instance,
+        nodes: order.clone(),
+    };
+
+    fn solve_static(
+        search: &Search<'_>,
+        order: &[NodeId],
+        depth: usize,
+        binding: &mut BTreeMap<NodeId, NodeId>,
+        results: &mut Vec<Matching>,
+    ) {
+        if depth == order.len() {
+            results.push(Matching(binding.clone()));
+            return;
+        }
+        let next = order[depth];
+        for candidate in search.candidates(next, binding) {
+            binding.insert(next, candidate);
+            if search.edges_consistent(next, binding) {
+                solve_static(search, order, depth + 1, binding, results);
+            }
+            binding.remove(&next);
+        }
+    }
+
+    let mut results = Vec::new();
+    solve_static(&search, &order, 0, &mut BTreeMap::new(), &mut results);
+    results.sort();
+    results.dedup();
+    if pattern.has_negation() {
+        results.retain(|m| !extends_to_full(pattern, instance, m));
+    }
+    Ok(results)
+}
+
+/// Naive enumeration: per-node candidate lists, full cross product,
+/// post-hoc edge check. Ground truth for differential tests and the
+/// baseline of benchmark E1. Negation is evaluated the same way as the
+/// planned engine.
+pub fn find_matchings_naive(pattern: &Pattern, instance: &Instance) -> Result<Vec<Matching>> {
+    if pattern.has_method_head() {
+        return Err(GoodError::InvalidPattern(
+            "patterns with method-head nodes must be rewritten before matching".into(),
+        ));
+    }
+    pattern.validate(instance.scheme())?;
+    let positive = pattern.positive_part();
+    let nodes: Vec<NodeId> = positive.graph().node_ids().collect();
+
+    let mut candidate_lists: Vec<Vec<NodeId>> = Vec::with_capacity(nodes.len());
+    for &node in &nodes {
+        let data = positive.graph().node(node).expect("live");
+        let PatternNodeKind::Class(label) = &data.kind else {
+            return Err(GoodError::InvalidPattern(
+                "method head in positive part".into(),
+            ));
+        };
+        let cands: Vec<NodeId> = instance
+            .nodes_with_label(label)
+            .filter(|c| node_compatible(instance, data, *c))
+            .collect();
+        candidate_lists.push(cands);
+    }
+
+    let mut results = Vec::new();
+    let mut assignment: Vec<usize> = vec![0; nodes.len()];
+    'outer: loop {
+        // Build the binding for the current assignment.
+        if candidate_lists.iter().all(|c| !c.is_empty()) || nodes.is_empty() {
+            let binding: BTreeMap<NodeId, NodeId> = nodes
+                .iter()
+                .enumerate()
+                .map(|(k, &n)| (n, candidate_lists[k][assignment[k]]))
+                .collect();
+            let ok = positive.graph().edges().all(|edge| {
+                edge.payload.negated
+                    || instance.has_edge(
+                        binding[&edge.src],
+                        &edge.payload.label,
+                        binding[&edge.dst],
+                    )
+            });
+            if ok {
+                results.push(Matching(binding));
+            }
+        } else {
+            break;
+        }
+        // Advance the odometer.
+        if nodes.is_empty() {
+            break;
+        }
+        let mut k = nodes.len();
+        loop {
+            if k == 0 {
+                break 'outer;
+            }
+            k -= 1;
+            assignment[k] += 1;
+            if assignment[k] < candidate_lists[k].len() {
+                break;
+            }
+            assignment[k] = 0;
+        }
+    }
+    results.sort();
+    results.dedup();
+    if pattern.has_negation() {
+        results.retain(|m| !extends_to_full(pattern, instance, m));
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ValuePredicate;
+    use crate::scheme::{Scheme, SchemeBuilder};
+    use crate::value::{Value, ValueType};
+
+    fn scheme() -> Scheme {
+        SchemeBuilder::new()
+            .object("Info")
+            .printable("String", ValueType::Str)
+            .printable("Date", ValueType::Date)
+            .functional("Info", "name", "String")
+            .functional("Info", "created", "Date")
+            .functional("Info", "modified", "Date")
+            .multivalued("Info", "links-to", "Info")
+            .build()
+    }
+
+    /// A small slice of the paper's instance: Rock links to The Doors
+    /// and Pinkfloyd; Jazz links to nothing.
+    fn small_instance() -> (Instance, [NodeId; 4]) {
+        let mut db = Instance::new(scheme());
+        let rock = db.add_object("Info").unwrap();
+        let doors = db.add_object("Info").unwrap();
+        let floyd = db.add_object("Info").unwrap();
+        let jazz = db.add_object("Info").unwrap();
+        let names = [
+            ("Rock", rock),
+            ("The Doors", doors),
+            ("Pinkfloyd", floyd),
+            ("Jazz", jazz),
+        ];
+        for (name, node) in names {
+            let s = db.add_printable("String", name).unwrap();
+            db.add_edge(node, "name", s).unwrap();
+        }
+        let d14 = db.add_printable("Date", Value::date(1990, 1, 14)).unwrap();
+        let d12 = db.add_printable("Date", Value::date(1990, 1, 12)).unwrap();
+        db.add_edge(rock, "created", d14).unwrap();
+        db.add_edge(doors, "created", d12).unwrap();
+        db.add_edge(floyd, "created", d14).unwrap();
+        db.add_edge(jazz, "created", d12).unwrap();
+        db.add_edge(rock, "links-to", doors).unwrap();
+        db.add_edge(rock, "links-to", floyd).unwrap();
+        (db, [rock, doors, floyd, jazz])
+    }
+
+    /// The paper's Figure 4 pattern: Info named Rock created Jan 14 1990
+    /// linking to another Info.
+    fn figure4() -> (Pattern, NodeId, NodeId) {
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let date = p.printable("Date", Value::date(1990, 1, 14));
+        let name = p.printable("String", "Rock");
+        let other = p.node("Info");
+        p.edge(info, "created", date);
+        p.edge(info, "name", name);
+        p.edge(info, "links-to", other);
+        (p, info, other)
+    }
+
+    #[test]
+    fn figure4_has_exactly_two_matchings() {
+        let (db, [rock, doors, floyd, _]) = small_instance();
+        let (pattern, info, other) = figure4();
+        let matchings = find_matchings(&pattern, &db).unwrap();
+        assert_eq!(matchings.len(), 2);
+        for m in &matchings {
+            assert_eq!(m.image(info), rock);
+        }
+        let others: Vec<NodeId> = matchings.iter().map(|m| m.image(other)).collect();
+        assert!(others.contains(&doors) && others.contains(&floyd));
+    }
+
+    #[test]
+    fn planned_equals_naive_equals_static() {
+        let (db, _) = small_instance();
+        let (pattern, _, _) = figure4();
+        let a = find_matchings(&pattern, &db).unwrap();
+        let b = find_matchings_naive(&pattern, &db).unwrap();
+        let c = find_matchings_static_order(&pattern, &db).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn static_order_handles_negation() {
+        let (db, [rock, ..]) = small_instance();
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let other = p.negated_node("Info");
+        p.edge(info, "links-to", other);
+        let planned = find_matchings(&p, &db).unwrap();
+        let fixed = find_matchings_static_order(&p, &db).unwrap();
+        assert_eq!(planned, fixed);
+        assert!(fixed.iter().all(|m| m.image(info) != rock));
+    }
+
+    #[test]
+    fn empty_pattern_has_one_empty_matching() {
+        let (db, _) = small_instance();
+        let matchings = find_matchings(&Pattern::new(), &db).unwrap();
+        assert_eq!(matchings.len(), 1);
+        assert!(matchings[0].is_empty());
+        let naive = find_matchings_naive(&Pattern::new(), &db).unwrap();
+        assert_eq!(naive, matchings);
+    }
+
+    #[test]
+    fn matchings_are_homomorphisms_not_injections() {
+        // Pattern: Info -links-to-> Info, both unconstrained. A self-link
+        // would match with both nodes equal. Build one.
+        let mut db = Instance::new(scheme());
+        let a = db.add_object("Info").unwrap();
+        db.add_edge(a, "links-to", a).unwrap();
+        let mut p = Pattern::new();
+        let x = p.node("Info");
+        let y = p.node("Info");
+        p.edge(x, "links-to", y);
+        let matchings = find_matchings(&p, &db).unwrap();
+        assert_eq!(matchings.len(), 1);
+        assert_eq!(matchings[0].image(x), matchings[0].image(y));
+        assert_eq!(find_matchings_naive(&p, &db).unwrap(), matchings);
+    }
+
+    #[test]
+    fn unmatched_pattern_yields_nothing() {
+        let (db, _) = small_instance();
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let name = p.printable("String", "Mozart");
+        p.edge(info, "name", name);
+        assert!(find_matchings(&p, &db).unwrap().is_empty());
+        assert!(!matches_once(&p, &db).unwrap());
+    }
+
+    #[test]
+    fn disconnected_pattern_takes_cross_product() {
+        let (db, _) = small_instance();
+        let mut p = Pattern::new();
+        p.node("Info");
+        p.node("Info");
+        let matchings = find_matchings(&p, &db).unwrap();
+        assert_eq!(matchings.len(), 16); // 4 × 4
+        assert_eq!(find_matchings_naive(&p, &db).unwrap(), matchings);
+    }
+
+    #[test]
+    fn negated_edge_filters_matchings() {
+        // Figure 26 in miniature: infos whose created date has no
+        // modified edge from the same info.
+        let (mut db, [rock, ..]) = small_instance();
+        let d14 = db
+            .find_printable(&"Date".into(), &Value::date(1990, 1, 14))
+            .unwrap();
+        db.add_edge(rock, "modified", d14).unwrap();
+
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let date = p.node("Date");
+        p.edge(info, "created", date);
+        p.negated_edge(info, "modified", date);
+
+        let matchings = find_matchings(&p, &db).unwrap();
+        // rock's created==modified date, so rock is excluded; doors,
+        // floyd, jazz survive.
+        assert_eq!(matchings.len(), 3);
+        assert!(matchings.iter().all(|m| m.image(info) != rock));
+        assert_eq!(find_matchings_naive(&p, &db).unwrap(), matchings);
+    }
+
+    #[test]
+    fn negated_node_filters_matchings() {
+        // Infos that do not link to anything.
+        let (db, [rock, doors, floyd, jazz]) = small_instance();
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let other = p.negated_node("Info");
+        p.edge(info, "links-to", other);
+        let matchings = find_matchings(&p, &db).unwrap();
+        let images: Vec<NodeId> = matchings.iter().map(|m| m.image(info)).collect();
+        assert!(!images.contains(&rock));
+        assert!(images.contains(&doors) && images.contains(&floyd) && images.contains(&jazz));
+        assert_eq!(find_matchings_naive(&p, &db).unwrap(), matchings);
+    }
+
+    #[test]
+    fn predicate_ranges() {
+        let (db, [rock, doors, floyd, jazz]) = small_instance();
+        // Infos created in the window Jan 13–31, 1990.
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let date = p.predicate_node(
+            "Date",
+            ValuePredicate::Between(Value::date(1990, 1, 13), Value::date(1990, 1, 31)),
+        );
+        p.edge(info, "created", date);
+        let matchings = find_matchings(&p, &db).unwrap();
+        let images: Vec<NodeId> = matchings.iter().map(|m| m.image(info)).collect();
+        assert_eq!(images.len(), 2);
+        assert!(images.contains(&rock) && images.contains(&floyd));
+        assert!(!images.contains(&doors) && !images.contains(&jazz));
+        assert_eq!(find_matchings_naive(&p, &db).unwrap(), matchings);
+    }
+
+    #[test]
+    fn matchings_are_deterministic_and_sorted() {
+        let (db, _) = small_instance();
+        let mut p = Pattern::new();
+        p.node("Info");
+        let a = find_matchings(&p, &db).unwrap();
+        let b = find_matchings(&p, &db).unwrap();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(a, sorted);
+    }
+
+    #[test]
+    fn method_head_patterns_rejected() {
+        let (db, _) = small_instance();
+        let mut p = Pattern::new();
+        p.method_head("M");
+        assert!(matches!(
+            find_matchings(&p, &db),
+            Err(GoodError::InvalidPattern(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_pattern_is_an_error() {
+        let (db, _) = small_instance();
+        let mut p = Pattern::new();
+        p.node("Nope");
+        assert!(find_matchings(&p, &db).is_err());
+    }
+
+    #[test]
+    fn matches_once_early_exit() {
+        let (db, _) = small_instance();
+        let mut p = Pattern::new();
+        p.node("Info");
+        assert!(matches_once(&p, &db).unwrap());
+    }
+}

@@ -1,0 +1,341 @@
+//! Scheme manipulation (Section 3's list of "modes of interpretation").
+//!
+//! "The GOOD transformation language has indeed been designed in such a
+//! way that it can as well be used for querying, updating, **scheme
+//! manipulations, restructuring**, browsing, and visualizing…"
+//!
+//! Manipulating a scheme with the language requires the scheme to *be*
+//! data: this module defines a fixed **meta-scheme** whose instances
+//! encode object base schemes — one `MNode` object per node label, one
+//! `MEdgeLabel` object per edge label, one `MTriple` object per triple
+//! of `P` — plus the encoder and the (validating) decoder. A GOOD
+//! program run against the meta-instance *is* a scheme transformation:
+//! add an `MTriple` with a node addition, drop a class with a node
+//! deletion, rename via the update macro.
+//!
+//! The decoder is tolerant exactly where graph deletion semantics
+//! demands it: an `MTriple` whose endpoints were deleted simply
+//! disappears from the decoded scheme (the same way node deletion drops
+//! incident edges), while genuinely malformed encodings are errors.
+
+use crate::error::{GoodError, Result};
+use crate::instance::Instance;
+use crate::label::Label;
+use crate::scheme::{Scheme, SchemeBuilder};
+use crate::value::{Value, ValueType};
+use good_graph::NodeId;
+use std::collections::HashMap;
+
+/// The fixed meta-scheme: schemes as object bases.
+pub fn meta_scheme() -> Scheme {
+    SchemeBuilder::new()
+        .object("MNode")
+        .object("MEdgeLabel")
+        .object("MTriple")
+        .printable("MName", ValueType::Str)
+        .printable("MKind", ValueType::Str)
+        .functional("MNode", "mname", "MName")
+        .functional("MNode", "mkind", "MKind")
+        .functional("MEdgeLabel", "mename", "MName")
+        .functional("MEdgeLabel", "mekind", "MKind")
+        .functional("MTriple", "msrc", "MNode")
+        .functional("MTriple", "medge", "MEdgeLabel")
+        .functional("MTriple", "mdst", "MNode")
+        .functional("MTriple", "msubclass", "MKind")
+        .build()
+}
+
+fn node_kind_string(scheme: &Scheme, label: &Label) -> String {
+    match scheme.printable_type(label) {
+        Some(value_type) => format!("printable:{value_type}"),
+        None => "object".to_string(),
+    }
+}
+
+fn parse_value_type(text: &str) -> Result<ValueType> {
+    Ok(match text {
+        "string" => ValueType::Str,
+        "int" => ValueType::Int,
+        "real" => ValueType::Real,
+        "bool" => ValueType::Bool,
+        "date" => ValueType::Date,
+        "bytes" => ValueType::Bytes,
+        other => {
+            return Err(GoodError::InvariantViolation(format!(
+                "unknown printable domain {other} in meta-instance"
+            )))
+        }
+    })
+}
+
+/// Encode `scheme` as an instance over [`meta_scheme`].
+pub fn scheme_to_instance(scheme: &Scheme) -> Result<Instance> {
+    let mut db = Instance::new(meta_scheme());
+    let mut node_objects: HashMap<Label, NodeId> = HashMap::new();
+    let mut edge_objects: HashMap<Label, NodeId> = HashMap::new();
+
+    let all_node_labels = scheme
+        .object_labels()
+        .cloned()
+        .chain(scheme.printable_labels().map(|(l, _)| l.clone()));
+    for label in all_node_labels {
+        let object = db.add_object("MNode")?;
+        let name = db.add_printable("MName", label.as_str())?;
+        db.add_edge(object, "mname", name)?;
+        let kind = db.add_printable("MKind", node_kind_string(scheme, &label))?;
+        db.add_edge(object, "mkind", kind)?;
+        node_objects.insert(label, object);
+    }
+    let all_edge_labels = scheme
+        .functional_labels()
+        .map(|l| (l.clone(), "functional"))
+        .chain(
+            scheme
+                .multivalued_labels()
+                .map(|l| (l.clone(), "multivalued")),
+        )
+        .collect::<Vec<_>>();
+    for (label, kind) in all_edge_labels {
+        let object = db.add_object("MEdgeLabel")?;
+        let name = db.add_printable("MName", label.as_str())?;
+        db.add_edge(object, "mename", name)?;
+        let kind_node = db.add_printable("MKind", kind)?;
+        db.add_edge(object, "mekind", kind_node)?;
+        edge_objects.insert(label, object);
+    }
+    for (src, edge, dst) in scheme.triples() {
+        let object = db.add_object("MTriple")?;
+        db.add_edge(object, "msrc", node_objects[src])?;
+        db.add_edge(object, "medge", edge_objects[edge])?;
+        db.add_edge(object, "mdst", node_objects[dst])?;
+        let is_subclass = scheme
+            .subclass_triples()
+            .any(|triple| triple == &(src.clone(), edge.clone(), dst.clone()));
+        let flag = db.add_printable("MKind", if is_subclass { "subclass" } else { "plain" })?;
+        db.add_edge(object, "msubclass", flag)?;
+    }
+    Ok(db)
+}
+
+fn string_property(db: &Instance, object: NodeId, edge: &str) -> Result<String> {
+    let target = db
+        .functional_target(object, &Label::new(edge))
+        .ok_or_else(|| {
+            GoodError::InvariantViolation(format!(
+                "meta object {object:?} lacks its {edge} property"
+            ))
+        })?;
+    db.print_value(target)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| {
+            GoodError::InvariantViolation(format!("{edge} of {object:?} is not a string"))
+        })
+}
+
+/// Decode an instance over [`meta_scheme`] back into a [`Scheme`].
+///
+/// Tolerates `MTriple` objects with deleted endpoints (they decode to
+/// nothing — the natural consequence of dropping a class with `ND`);
+/// everything else malformed is an error. The decoded scheme is
+/// validated before being returned.
+pub fn instance_to_scheme(db: &Instance) -> Result<Scheme> {
+    let mut scheme = Scheme::new();
+    let mut node_names: HashMap<NodeId, Label> = HashMap::new();
+    let mut edge_names: HashMap<NodeId, Label> = HashMap::new();
+
+    for object in db.nodes_with_label(&Label::new("MNode")) {
+        let name = Label::new(string_property(db, object, "mname")?);
+        let kind = string_property(db, object, "mkind")?;
+        if kind == "object" {
+            scheme.add_object_label(name.clone())?;
+        } else if let Some(domain) = kind.strip_prefix("printable:") {
+            scheme.add_printable_label(name.clone(), parse_value_type(domain)?)?;
+        } else {
+            return Err(GoodError::InvariantViolation(format!(
+                "unknown node kind {kind} in meta-instance"
+            )));
+        }
+        node_names.insert(object, name);
+    }
+    for object in db.nodes_with_label(&Label::new("MEdgeLabel")) {
+        let name = Label::new(string_property(db, object, "mename")?);
+        match string_property(db, object, "mekind")?.as_str() {
+            "functional" => scheme.add_functional_label(name.clone())?,
+            "multivalued" => scheme.add_multivalued_label(name.clone())?,
+            other => {
+                return Err(GoodError::InvariantViolation(format!(
+                    "unknown edge kind {other} in meta-instance"
+                )))
+            }
+        };
+        edge_names.insert(object, name);
+    }
+    let mut subclasses = Vec::new();
+    for object in db.nodes_with_label(&Label::new("MTriple")) {
+        let src = db.functional_target(object, &Label::new("msrc"));
+        let edge = db.functional_target(object, &Label::new("medge"));
+        let dst = db.functional_target(object, &Label::new("mdst"));
+        let (Some(src), Some(edge), Some(dst)) = (src, edge, dst) else {
+            continue; // an endpoint was deleted: the triple is gone too
+        };
+        let (Some(src), Some(edge), Some(dst)) = (
+            node_names.get(&src),
+            edge_names.get(&edge),
+            node_names.get(&dst),
+        ) else {
+            continue;
+        };
+        scheme.add_triple(src.clone(), edge.clone(), dst.clone())?;
+        if string_property(db, object, "msubclass")? == "subclass" {
+            subclasses.push((src.clone(), edge.clone(), dst.clone()));
+        }
+    }
+    for (src, edge, dst) in subclasses {
+        scheme.mark_subclass(src, edge, dst)?;
+    }
+    scheme.validate()?;
+    Ok(scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{NodeAddition, NodeDeletion};
+    use crate::pattern::Pattern;
+
+    fn sample() -> Scheme {
+        SchemeBuilder::new()
+            .object("Info")
+            .object("Reference")
+            .printable("String", ValueType::Str)
+            .printable("Date", ValueType::Date)
+            .functional("Info", "name", "String")
+            .functional("Info", "created", "Date")
+            .multivalued("Info", "links-to", "Info")
+            .subclass("Reference", "isa", "Info")
+            .build()
+    }
+
+    #[test]
+    fn meta_scheme_validates() {
+        meta_scheme().validate().unwrap();
+    }
+
+    #[test]
+    fn scheme_roundtrips_through_the_meta_instance() {
+        let original = sample();
+        let meta = scheme_to_instance(&original).unwrap();
+        meta.validate().unwrap();
+        let decoded = instance_to_scheme(&meta).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn hypermedia_sized_schemes_roundtrip() {
+        // The bench scheme exercises several printable domains.
+        let original = crate::gen::bench_scheme();
+        let meta = scheme_to_instance(&original).unwrap();
+        let decoded = instance_to_scheme(&meta).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn scheme_manipulation_by_good_program() {
+        // Add a new triple (Info, about, String) to the scheme by
+        // running GOOD operations ON THE META-INSTANCE.
+        let mut meta = scheme_to_instance(&sample()).unwrap();
+
+        // 1. NA: a new MEdgeLabel object for `about` (multivalued)…
+        //    the printables must exist to be matched, so seed them.
+        meta.add_printable("MName", "about").unwrap();
+        meta.add_printable("MKind", "multivalued").unwrap();
+        meta.add_printable("MKind", "plain").unwrap();
+        let mut p = Pattern::new();
+        let name = p.printable("MName", "about");
+        let kind = p.printable("MKind", "multivalued");
+        NodeAddition::new(
+            p,
+            "MEdgeLabel",
+            [(Label::new("mename"), name), (Label::new("mekind"), kind)],
+        )
+        .apply(&mut meta)
+        .unwrap();
+
+        // 2. NA: the MTriple wiring Info -about-> String.
+        let mut p = Pattern::new();
+        let src = p.node("MNode");
+        let src_name = p.printable("MName", "Info");
+        p.edge(src, "mname", src_name);
+        let edge = p.node("MEdgeLabel");
+        let edge_name = p.printable("MName", "about");
+        p.edge(edge, "mename", edge_name);
+        let dst = p.node("MNode");
+        let dst_name = p.printable("MName", "String");
+        p.edge(dst, "mname", dst_name);
+        let flag = p.printable("MKind", "plain");
+        NodeAddition::new(
+            p,
+            "MTriple",
+            [
+                (Label::new("msrc"), src),
+                (Label::new("medge"), edge),
+                (Label::new("mdst"), dst),
+                (Label::new("msubclass"), flag),
+            ],
+        )
+        .apply(&mut meta)
+        .unwrap();
+
+        let evolved = instance_to_scheme(&meta).unwrap();
+        assert!(evolved.allows(&"Info".into(), &"about".into(), &"String".into()));
+        // The old scheme is a subscheme of the evolved one.
+        assert!(sample().is_subscheme_of(&evolved));
+    }
+
+    #[test]
+    fn dropping_a_class_drops_its_triples() {
+        // Delete the Reference class from the meta-instance; the isa
+        // and `in`-style triples referencing it decode to nothing.
+        let mut meta = scheme_to_instance(&sample()).unwrap();
+        let mut p = Pattern::new();
+        let node = p.node("MNode");
+        let name = p.printable("MName", "Reference");
+        p.edge(node, "mname", name);
+        NodeDeletion::new(p, node).apply(&mut meta).unwrap();
+
+        let evolved = instance_to_scheme(&meta).unwrap();
+        assert!(!evolved.is_object_label(&"Reference".into()));
+        assert!(!evolved.allows(&"Reference".into(), &"isa".into(), &"Info".into()));
+        // Everything else survives.
+        assert!(evolved.allows(&"Info".into(), &"name".into(), &"String".into()));
+        evolved.validate().unwrap();
+    }
+
+    #[test]
+    fn malformed_meta_instances_are_rejected() {
+        let mut meta = Instance::new(meta_scheme());
+        // An MNode without properties.
+        meta.add_object("MNode").unwrap();
+        assert!(matches!(
+            instance_to_scheme(&meta),
+            Err(GoodError::InvariantViolation(_))
+        ));
+
+        // An MNode with a bogus kind.
+        let mut meta = Instance::new(meta_scheme());
+        let object = meta.add_object("MNode").unwrap();
+        let name = meta.add_printable("MName", "X").unwrap();
+        meta.add_edge(object, "mname", name).unwrap();
+        let kind = meta.add_printable("MKind", "nonsense").unwrap();
+        meta.add_edge(object, "mkind", kind).unwrap();
+        assert!(instance_to_scheme(&meta).is_err());
+    }
+
+    #[test]
+    fn empty_scheme_roundtrips() {
+        let empty = Scheme::new();
+        let meta = scheme_to_instance(&empty).unwrap();
+        assert_eq!(instance_to_scheme(&meta).unwrap(), empty);
+    }
+}

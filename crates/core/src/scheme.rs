@@ -1,0 +1,718 @@
+//! Object base schemes.
+//!
+//! Section 2 of the paper: an object base scheme is a five-tuple
+//! `S = (OL, POL, FEL, MEL, P)` with `P ⊆ OL × (MEL ∪ FEL) × (OL ∪ POL)`.
+//! [`Scheme`] stores the four finite label sets plus the triple set `P`,
+//! and — beyond the paper — the constant domain of each printable label
+//! and the set of triples marked as `isa` subclass edges (Section 4.2).
+//!
+//! Schemes evolve: node addition, edge addition and abstraction each
+//! produce "the minimal scheme of which S is a subscheme" over which the
+//! enlarged pattern is a pattern. The `extend_*` methods implement those
+//! minimal extensions and are also what [`Scheme::union`] builds on for
+//! the method-interface semantics of Section 3.6.
+
+use crate::error::{GoodError, Result};
+use crate::label::{EdgeKind, Label, NodeKind};
+use crate::value::ValueType;
+use good_graph::dot::{DotEdge, DotNode};
+use good_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A scheme triple `(source label, edge label, target label) ∈ P`.
+pub type Triple = (Label, Label, Label);
+
+/// An object base scheme.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scheme {
+    objects: BTreeSet<Label>,
+    printables: BTreeMap<Label, ValueType>,
+    functional: BTreeSet<Label>,
+    multivalued: BTreeSet<Label>,
+    triples: BTreeSet<Triple>,
+    /// Subset of `triples` whose (functional) edges are interpreted as
+    /// subclass (`isa`) edges, per Section 4.2.
+    subclass: BTreeSet<Triple>,
+}
+
+impl Scheme {
+    /// An empty scheme.
+    pub fn new() -> Self {
+        Scheme::default()
+    }
+
+    // ---- label registration -------------------------------------------------
+
+    /// Describe the universe a label is already registered in, if any.
+    fn existing_universe(&self, label: &Label) -> Option<&'static str> {
+        if self.objects.contains(label) {
+            Some("an object label")
+        } else if self.printables.contains_key(label) {
+            Some("a printable object label")
+        } else if self.functional.contains(label) {
+            Some("a functional edge label")
+        } else if self.multivalued.contains(label) {
+            Some("a multivalued edge label")
+        } else {
+            None
+        }
+    }
+
+    fn check_fresh(&self, label: &Label, attempted: &'static str) -> Result<()> {
+        match self.existing_universe(label) {
+            Some(existing) if existing != attempted => Err(GoodError::LabelUniverseClash {
+                label: label.clone(),
+                existing,
+                attempted,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Register an object label (idempotent).
+    pub fn add_object_label(&mut self, label: impl Into<Label>) -> Result<Label> {
+        let label = label.into();
+        self.check_fresh(&label, "an object label")?;
+        self.objects.insert(label.clone());
+        Ok(label)
+    }
+
+    /// Register a printable object label with its constant domain
+    /// (idempotent if the domain agrees).
+    pub fn add_printable_label(
+        &mut self,
+        label: impl Into<Label>,
+        value_type: ValueType,
+    ) -> Result<Label> {
+        let label = label.into();
+        self.check_fresh(&label, "a printable object label")?;
+        if let Some(existing) = self.printables.get(&label) {
+            if *existing != value_type {
+                return Err(GoodError::LabelUniverseClash {
+                    label,
+                    existing: "a printable object label (with a different constant domain)",
+                    attempted: "a printable object label",
+                });
+            }
+        }
+        self.printables.insert(label.clone(), value_type);
+        Ok(label)
+    }
+
+    /// Register a functional edge label (idempotent).
+    pub fn add_functional_label(&mut self, label: impl Into<Label>) -> Result<Label> {
+        let label = label.into();
+        self.check_fresh(&label, "a functional edge label")?;
+        self.functional.insert(label.clone());
+        Ok(label)
+    }
+
+    /// Register a multivalued edge label (idempotent).
+    pub fn add_multivalued_label(&mut self, label: impl Into<Label>) -> Result<Label> {
+        let label = label.into();
+        self.check_fresh(&label, "a multivalued edge label")?;
+        self.multivalued.insert(label.clone());
+        Ok(label)
+    }
+
+    /// Register an edge label of the given kind.
+    pub fn add_edge_label(&mut self, label: impl Into<Label>, kind: EdgeKind) -> Result<Label> {
+        match kind {
+            EdgeKind::Functional => self.add_functional_label(label),
+            EdgeKind::Multivalued => self.add_multivalued_label(label),
+        }
+    }
+
+    // ---- triples -------------------------------------------------------------
+
+    /// Add a triple `(src, edge, dst)` to `P`.
+    ///
+    /// All three labels must already be registered, `src` must be an
+    /// object label, and `dst` any node label.
+    pub fn add_triple(
+        &mut self,
+        src: impl Into<Label>,
+        edge: impl Into<Label>,
+        dst: impl Into<Label>,
+    ) -> Result<()> {
+        let (src, edge, dst) = (src.into(), edge.into(), dst.into());
+        if self.printables.contains_key(&src) {
+            return Err(GoodError::PrintableAsSource(src));
+        }
+        if !self.objects.contains(&src) {
+            return Err(GoodError::UnknownNodeLabel(src));
+        }
+        if !self.is_edge_label(&edge) {
+            return Err(GoodError::UnknownEdgeLabel(edge));
+        }
+        if !self.is_node_label(&dst) {
+            return Err(GoodError::UnknownNodeLabel(dst));
+        }
+        self.triples.insert((src, edge, dst));
+        Ok(())
+    }
+
+    /// Convenience: register a functional edge label (if needed) and add
+    /// the triple in one step.
+    pub fn add_functional(
+        &mut self,
+        src: impl Into<Label>,
+        edge: impl Into<Label>,
+        dst: impl Into<Label>,
+    ) -> Result<()> {
+        let edge = self.add_functional_label(edge)?;
+        self.add_triple(src, edge, dst)
+    }
+
+    /// Convenience: register a multivalued edge label (if needed) and add
+    /// the triple in one step.
+    pub fn add_multivalued(
+        &mut self,
+        src: impl Into<Label>,
+        edge: impl Into<Label>,
+        dst: impl Into<Label>,
+    ) -> Result<()> {
+        let edge = self.add_multivalued_label(edge)?;
+        self.add_triple(src, edge, dst)
+    }
+
+    /// Mark an existing functional triple as a subclass (`isa`) edge.
+    ///
+    /// Section 4.2: subclass edges are functional and must not form a
+    /// cycle; cycle-freedom is checked by [`Scheme::validate`] and at
+    /// marking time.
+    pub fn mark_subclass(
+        &mut self,
+        src: impl Into<Label>,
+        edge: impl Into<Label>,
+        dst: impl Into<Label>,
+    ) -> Result<()> {
+        let triple = (src.into(), edge.into(), dst.into());
+        if !self.triples.contains(&triple) {
+            return Err(GoodError::EdgeNotInScheme {
+                src: triple.0,
+                edge: triple.1,
+                dst: triple.2,
+            });
+        }
+        if !self.functional.contains(&triple.1) {
+            return Err(GoodError::EdgeKindMismatch {
+                label: triple.1,
+                registered: EdgeKind::Multivalued,
+                used: EdgeKind::Functional,
+            });
+        }
+        self.subclass.insert(triple.clone());
+        if self.subclass_has_cycle() {
+            self.subclass.remove(&triple);
+            return Err(GoodError::IsaCycle);
+        }
+        Ok(())
+    }
+
+    fn subclass_has_cycle(&self) -> bool {
+        // DFS over the subclass graph on labels.
+        let mut succ: BTreeMap<&Label, Vec<&Label>> = BTreeMap::new();
+        for (src, _, dst) in &self.subclass {
+            succ.entry(src).or_default().push(dst);
+        }
+        #[derive(PartialEq, Clone, Copy)]
+        enum Mark {
+            Grey,
+            Black,
+        }
+        let mut marks: BTreeMap<&Label, Mark> = BTreeMap::new();
+        for start in succ.keys().copied().collect::<Vec<_>>() {
+            if marks.contains_key(start) {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            marks.insert(start, Mark::Grey);
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let children = succ.get(node).map(Vec::as_slice).unwrap_or(&[]);
+                if *idx < children.len() {
+                    let child = children[*idx];
+                    *idx += 1;
+                    match marks.get(child) {
+                        Some(Mark::Grey) => return true,
+                        Some(Mark::Black) => {}
+                        None => {
+                            marks.insert(child, Mark::Grey);
+                            stack.push((child, 0));
+                        }
+                    }
+                } else {
+                    marks.insert(node, Mark::Black);
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// True if `label` is an object label.
+    pub fn is_object_label(&self, label: &Label) -> bool {
+        self.objects.contains(label)
+    }
+
+    /// True if `label` is a printable object label.
+    pub fn is_printable_label(&self, label: &Label) -> bool {
+        self.printables.contains_key(label)
+    }
+
+    /// True if `label` is a node label (object or printable).
+    pub fn is_node_label(&self, label: &Label) -> bool {
+        self.is_object_label(label) || self.is_printable_label(label)
+    }
+
+    /// True if `label` is an edge label (functional or multivalued).
+    pub fn is_edge_label(&self, label: &Label) -> bool {
+        self.functional.contains(label) || self.multivalued.contains(label)
+    }
+
+    /// The node kind of `label`, if registered.
+    pub fn node_kind(&self, label: &Label) -> Option<NodeKind> {
+        if self.is_object_label(label) {
+            Some(NodeKind::Object)
+        } else if self.is_printable_label(label) {
+            Some(NodeKind::Printable)
+        } else {
+            None
+        }
+    }
+
+    /// The edge kind of `label`, if registered.
+    pub fn edge_kind(&self, label: &Label) -> Option<EdgeKind> {
+        if self.functional.contains(label) {
+            Some(EdgeKind::Functional)
+        } else if self.multivalued.contains(label) {
+            Some(EdgeKind::Multivalued)
+        } else {
+            None
+        }
+    }
+
+    /// The constant domain of a printable label, if registered.
+    pub fn printable_type(&self, label: &Label) -> Option<ValueType> {
+        self.printables.get(label).copied()
+    }
+
+    /// True if `(src, edge, dst)` ∈ P.
+    pub fn allows(&self, src: &Label, edge: &Label, dst: &Label) -> bool {
+        self.triples
+            .contains(&(src.clone(), edge.clone(), dst.clone()))
+    }
+
+    /// Iterate over all triples in `P`.
+    pub fn triples(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+
+    /// Iterate over all object labels.
+    pub fn object_labels(&self) -> impl Iterator<Item = &Label> {
+        self.objects.iter()
+    }
+
+    /// Iterate over all printable labels with their domains.
+    pub fn printable_labels(&self) -> impl Iterator<Item = (&Label, ValueType)> {
+        self.printables.iter().map(|(l, t)| (l, *t))
+    }
+
+    /// Iterate over all functional edge labels.
+    pub fn functional_labels(&self) -> impl Iterator<Item = &Label> {
+        self.functional.iter()
+    }
+
+    /// Iterate over all multivalued edge labels.
+    pub fn multivalued_labels(&self) -> impl Iterator<Item = &Label> {
+        self.multivalued.iter()
+    }
+
+    /// Triples marked as `isa` subclass edges.
+    pub fn subclass_triples(&self) -> impl Iterator<Item = &Triple> {
+        self.subclass.iter()
+    }
+
+    /// Direct superclasses of `label` along marked `isa` triples.
+    pub fn superclasses_of<'a>(&'a self, label: &'a Label) -> impl Iterator<Item = &'a Label> {
+        self.subclass
+            .iter()
+            .filter(move |(src, _, _)| src == label)
+            .map(|(_, _, dst)| dst)
+    }
+
+    /// All (transitive) superclasses of `label`, excluding itself.
+    pub fn ancestors_of(&self, label: &Label) -> Vec<Label> {
+        let mut out = Vec::new();
+        let mut stack = vec![label.clone()];
+        while let Some(current) = stack.pop() {
+            for parent in self.superclasses_of(&current) {
+                if !out.contains(parent) {
+                    out.push(parent.clone());
+                    stack.push(parent.clone());
+                }
+            }
+        }
+        out
+    }
+
+    // ---- composition ----------------------------------------------------
+
+    /// True if `self` is a subscheme of `other` (componentwise set
+    /// inclusion, as in the paper's footnote 2).
+    pub fn is_subscheme_of(&self, other: &Scheme) -> bool {
+        self.objects.is_subset(&other.objects)
+            && self
+                .printables
+                .iter()
+                .all(|(l, t)| other.printables.get(l) == Some(t))
+            && self.functional.is_subset(&other.functional)
+            && self.multivalued.is_subset(&other.multivalued)
+            && self.triples.is_subset(&other.triples)
+    }
+
+    /// The union of two schemes — "the smallest scheme of which both are
+    /// subgraphs" (footnote 3, used for method interfaces).
+    ///
+    /// Fails if the two schemes register the same label in different
+    /// universes.
+    pub fn union(&self, other: &Scheme) -> Result<Scheme> {
+        let mut out = self.clone();
+        for label in &other.objects {
+            out.add_object_label(label.clone())?;
+        }
+        for (label, value_type) in &other.printables {
+            out.add_printable_label(label.clone(), *value_type)?;
+        }
+        for label in &other.functional {
+            out.add_functional_label(label.clone())?;
+        }
+        for label in &other.multivalued {
+            out.add_multivalued_label(label.clone())?;
+        }
+        for (src, edge, dst) in &other.triples {
+            out.triples.insert((src.clone(), edge.clone(), dst.clone()));
+        }
+        for triple in &other.subclass {
+            out.subclass.insert(triple.clone());
+        }
+        if out.subclass_has_cycle() {
+            return Err(GoodError::IsaCycle);
+        }
+        Ok(out)
+    }
+
+    /// Full validation: universes disjoint (by construction), every
+    /// triple well-formed, `isa` acyclic.
+    pub fn validate(&self) -> Result<()> {
+        for (src, edge, dst) in &self.triples {
+            if !self.objects.contains(src) {
+                return Err(GoodError::InvariantViolation(format!(
+                    "triple source {src} is not an object label"
+                )));
+            }
+            if !self.is_edge_label(edge) {
+                return Err(GoodError::InvariantViolation(format!(
+                    "triple edge {edge} is not an edge label"
+                )));
+            }
+            if !self.is_node_label(dst) {
+                return Err(GoodError::InvariantViolation(format!(
+                    "triple target {dst} is not a node label"
+                )));
+            }
+        }
+        for triple in &self.subclass {
+            if !self.triples.contains(triple) {
+                return Err(GoodError::InvariantViolation(format!(
+                    "subclass triple {triple:?} is not in P"
+                )));
+            }
+        }
+        if self.subclass_has_cycle() {
+            return Err(GoodError::IsaCycle);
+        }
+        Ok(())
+    }
+
+    /// Render the scheme as Graphviz DOT, following the paper's drawing
+    /// conventions (boxes for object classes, ovals for printable ones,
+    /// double-headed arrows for multivalued edges).
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut graph: Graph<Label, (Label, EdgeKind)> = Graph::new();
+        let mut ids = BTreeMap::new();
+        for label in self.objects.iter().chain(self.printables.keys()) {
+            ids.insert(label.clone(), graph.add_node(label.clone()));
+        }
+        for (src, edge, dst) in &self.triples {
+            let kind = self.edge_kind(edge).expect("validated triple");
+            graph.add_edge(ids[src], ids[dst], (edge.clone(), kind));
+        }
+        let printables = self.printables.clone();
+        good_graph::dot::to_dot(
+            &graph,
+            title,
+            |_, label| {
+                if printables.contains_key(label) {
+                    DotNode::oval(label.as_str())
+                } else {
+                    DotNode::boxed(label.as_str())
+                }
+            },
+            |(label, kind)| DotEdge {
+                label: label.as_str().into(),
+                double_arrow: *kind == EdgeKind::Multivalued,
+                bold: false,
+                dashed: false,
+            },
+        )
+    }
+}
+
+/// Fluent scheme construction for tests and examples.
+///
+/// ```
+/// use good_core::scheme::SchemeBuilder;
+/// use good_core::value::ValueType;
+///
+/// let scheme = SchemeBuilder::new()
+///     .object("Info")
+///     .printable("String", ValueType::Str)
+///     .functional("Info", "name", "String")
+///     .build();
+/// assert!(scheme.is_object_label(&"Info".into()));
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemeBuilder {
+    scheme: Scheme,
+}
+
+impl SchemeBuilder {
+    /// Start from an empty scheme.
+    pub fn new() -> Self {
+        SchemeBuilder::default()
+    }
+
+    /// Register an object label.
+    pub fn object(mut self, label: &str) -> Self {
+        self.scheme
+            .add_object_label(label)
+            .expect("builder: object label");
+        self
+    }
+
+    /// Register a printable label with its domain.
+    pub fn printable(mut self, label: &str, value_type: ValueType) -> Self {
+        self.scheme
+            .add_printable_label(label, value_type)
+            .expect("builder: printable label");
+        self
+    }
+
+    /// Register (if needed) a functional edge label and add the triple.
+    pub fn functional(mut self, src: &str, edge: &str, dst: &str) -> Self {
+        self.scheme
+            .add_functional(src, edge, dst)
+            .expect("builder: functional triple");
+        self
+    }
+
+    /// Register (if needed) a multivalued edge label and add the triple.
+    pub fn multivalued(mut self, src: &str, edge: &str, dst: &str) -> Self {
+        self.scheme
+            .add_multivalued(src, edge, dst)
+            .expect("builder: multivalued triple");
+        self
+    }
+
+    /// Register a functional triple and mark it as `isa` subclassing.
+    pub fn subclass(mut self, src: &str, edge: &str, dst: &str) -> Self {
+        self.scheme
+            .add_functional(src, edge, dst)
+            .expect("builder: subclass triple");
+        self.scheme
+            .mark_subclass(src, edge, dst)
+            .expect("builder: subclass marking");
+        self
+    }
+
+    /// Finish, validating the result.
+    pub fn build(self) -> Scheme {
+        self.scheme
+            .validate()
+            .expect("builder produced invalid scheme");
+        self.scheme
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scheme {
+        SchemeBuilder::new()
+            .object("Info")
+            .object("Version")
+            .printable("String", ValueType::Str)
+            .printable("Date", ValueType::Date)
+            .functional("Info", "name", "String")
+            .functional("Info", "created", "Date")
+            .multivalued("Info", "links-to", "Info")
+            .functional("Version", "old", "Info")
+            .build()
+    }
+
+    #[test]
+    fn registration_and_queries() {
+        let s = tiny();
+        assert!(s.is_object_label(&"Info".into()));
+        assert!(s.is_printable_label(&"String".into()));
+        assert_eq!(s.edge_kind(&"name".into()), Some(EdgeKind::Functional));
+        assert_eq!(s.edge_kind(&"links-to".into()), Some(EdgeKind::Multivalued));
+        assert_eq!(s.printable_type(&"Date".into()), Some(ValueType::Date));
+        assert!(s.allows(&"Info".into(), &"name".into(), &"String".into()));
+        assert!(!s.allows(&"Version".into(), &"name".into(), &"String".into()));
+    }
+
+    #[test]
+    fn universes_are_disjoint() {
+        let mut s = tiny();
+        let err = s.add_printable_label("Info", ValueType::Str).unwrap_err();
+        assert!(matches!(err, GoodError::LabelUniverseClash { .. }));
+        let err = s.add_multivalued_label("name").unwrap_err();
+        assert!(matches!(err, GoodError::LabelUniverseClash { .. }));
+        // Idempotent re-registration in the same universe is fine.
+        s.add_object_label("Info").unwrap();
+    }
+
+    #[test]
+    fn printable_domain_conflict_rejected() {
+        let mut s = tiny();
+        let err = s.add_printable_label("String", ValueType::Int).unwrap_err();
+        assert!(matches!(err, GoodError::LabelUniverseClash { .. }));
+    }
+
+    #[test]
+    fn triples_require_registered_labels() {
+        let mut s = tiny();
+        assert!(matches!(
+            s.add_triple("Nope", "name", "String"),
+            Err(GoodError::UnknownNodeLabel(_))
+        ));
+        assert!(matches!(
+            s.add_triple("Info", "nope", "String"),
+            Err(GoodError::UnknownEdgeLabel(_))
+        ));
+        assert!(matches!(
+            s.add_triple("Info", "name", "Nope"),
+            Err(GoodError::UnknownNodeLabel(_))
+        ));
+        assert!(matches!(
+            s.add_triple("String", "name", "String"),
+            Err(GoodError::PrintableAsSource(_))
+        ));
+    }
+
+    #[test]
+    fn subscheme_and_union() {
+        let small = SchemeBuilder::new()
+            .object("Info")
+            .printable("String", ValueType::Str)
+            .functional("Info", "name", "String")
+            .build();
+        let big = tiny();
+        assert!(small.is_subscheme_of(&big));
+        assert!(!big.is_subscheme_of(&small));
+        let union = small.union(&big).unwrap();
+        assert_eq!(union, big);
+        assert!(small.is_subscheme_of(&union));
+    }
+
+    #[test]
+    fn union_detects_universe_clash() {
+        let a = SchemeBuilder::new().object("X").build();
+        let b = SchemeBuilder::new().printable("X", ValueType::Str).build();
+        assert!(matches!(
+            a.union(&b),
+            Err(GoodError::LabelUniverseClash { .. })
+        ));
+    }
+
+    #[test]
+    fn subclass_marking() {
+        let mut s = tiny();
+        s.add_object_label("Data").unwrap();
+        s.add_functional("Data", "isa", "Info").unwrap();
+        s.mark_subclass("Data", "isa", "Info").unwrap();
+        assert_eq!(s.ancestors_of(&"Data".into()), vec![Label::new("Info")]);
+        assert!(s.ancestors_of(&"Info".into()).is_empty());
+    }
+
+    #[test]
+    fn subclass_requires_existing_functional_triple() {
+        let mut s = tiny();
+        assert!(matches!(
+            s.mark_subclass("Info", "isa", "Version"),
+            Err(GoodError::EdgeNotInScheme { .. })
+        ));
+        assert!(matches!(
+            s.mark_subclass("Info", "links-to", "Info"),
+            Err(GoodError::EdgeKindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn subclass_cycles_rejected() {
+        let mut s = SchemeBuilder::new()
+            .object("A")
+            .object("B")
+            .subclass("A", "isa", "B")
+            .build();
+        s.add_functional("B", "isa2", "A").unwrap();
+        assert!(matches!(
+            s.mark_subclass("B", "isa2", "A"),
+            Err(GoodError::IsaCycle)
+        ));
+        // The failed marking must not corrupt the scheme.
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn transitive_ancestors() {
+        let s = SchemeBuilder::new()
+            .object("A")
+            .object("B")
+            .object("C")
+            .subclass("A", "isa", "B")
+            .subclass("B", "isa", "C")
+            .build();
+        let ancestors = s.ancestors_of(&"A".into());
+        assert_eq!(ancestors.len(), 2);
+        assert!(ancestors.contains(&Label::new("B")) && ancestors.contains(&Label::new("C")));
+    }
+
+    #[test]
+    fn dot_output_mentions_shapes() {
+        let dot = tiny().to_dot("tiny");
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("arrowhead=\"normalnormal\"")); // links-to
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = tiny();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scheme = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        tiny().validate().unwrap();
+    }
+}

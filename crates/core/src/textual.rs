@@ -1,0 +1,682 @@
+//! A textual notation for patterns and operations.
+//!
+//! The paper's interface is graphical; its prototype nevertheless
+//! manipulated programs as data (Section 5). This module provides the
+//! equivalent for the reproduction: a compact, line-oriented pattern
+//! language with a hand-rolled recursive-descent parser, plus verbose
+//! pretty-printers in the paper's bracket notation (`NA[...]`,
+//! `EA[...]`, ...). `parse_pattern` and `format_pattern` round-trip.
+//!
+//! # Pattern syntax
+//!
+//! ```text
+//! pattern {
+//!   info: Info;                       # node declaration
+//!   name: String = "Rock";            # printable with exact value
+//!   d: Date = date(1990-01-14);       # dates, ints, reals, bools
+//!   !other: Info;                     # crossed (negated) node
+//!   info -name-> name;                # edge
+//!   info -created-> d;
+//!   info -links-to-!> other;          # crossed (negated) edge
+//! }
+//! ```
+//!
+//! Node identifiers bind left of `:`; the map returned by
+//! [`parse_pattern`] lets callers reference them when building
+//! operations.
+
+use crate::error::{GoodError, Result};
+use crate::pattern::{Pattern, PatternNodeKind};
+use crate::scheme::Scheme;
+use crate::value::{Date, Value};
+use good_graph::NodeId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---- lexer -------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Real(f64),
+    Date(Date),
+    Bool(bool),
+    Colon,
+    Semi,
+    Equals,
+    Bang,
+    LBrace,
+    RBrace,
+    /// `-label->` or `-label-!>`: an edge arrow carrying its label and
+    /// negation flag.
+    Arrow(String, bool),
+}
+
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer { text, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> GoodError {
+        GoodError::InvalidPattern(format!(
+            "parse error at byte {}: {}",
+            self.pos,
+            message.into()
+        ))
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if self.rest().starts_with('#') {
+                match self.rest().find('\n') {
+                    Some(offset) => self.pos += offset + 1,
+                    None => self.pos = self.text.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>> {
+        self.skip_trivia();
+        let rest = self.rest();
+        let Some(first) = rest.chars().next() else {
+            return Ok(None);
+        };
+        // Single-character tokens.
+        let single = match first {
+            ':' => Some(Token::Colon),
+            ';' => Some(Token::Semi),
+            '=' => Some(Token::Equals),
+            '!' => Some(Token::Bang),
+            '{' => Some(Token::LBrace),
+            '}' => Some(Token::RBrace),
+            _ => None,
+        };
+        if let Some(token) = single {
+            self.pos += 1;
+            return Ok(Some(token));
+        }
+        // Edge arrow: -label-> or -label-!>
+        if first == '-' {
+            let body = &rest[1..];
+            let Some(end) = body.find("->").or_else(|| body.find("-!>")) else {
+                return Err(self.error("expected an edge arrow like `-label->`"));
+            };
+            // Determine which terminator comes first.
+            let (label_end, negated, arrow_len) = match (body.find("-!>"), body.find("->")) {
+                (Some(neg), Some(pos)) if neg < pos => (neg, true, 3),
+                (Some(neg), None) => (neg, true, 3),
+                (_, Some(pos)) => (pos, false, 2),
+                (None, None) => unreachable!("find above succeeded"),
+            };
+            let _ = end;
+            let label = body[..label_end].trim();
+            if label.is_empty() {
+                return Err(self.error("edge arrows need a label: `-label->`"));
+            }
+            self.pos += 1 + label_end + arrow_len;
+            return Ok(Some(Token::Arrow(label.to_string(), negated)));
+        }
+        // String literal.
+        if first == '"' {
+            let body = &rest[1..];
+            let Some(end) = body.find('"') else {
+                return Err(self.error("unterminated string literal"));
+            };
+            self.pos += end + 2;
+            return Ok(Some(Token::Str(body[..end].to_string())));
+        }
+        // Number.
+        if first.is_ascii_digit() || first == '+' {
+            let end = rest
+                .char_indices()
+                .find(|(_, c)| !c.is_ascii_digit() && *c != '.' && *c != '+' && *c != '-')
+                .map(|(index, _)| index)
+                .unwrap_or(rest.len());
+            let literal = &rest[..end];
+            self.pos += end;
+            if literal.contains('.') {
+                let value: f64 = literal
+                    .parse()
+                    .map_err(|_| self.error(format!("bad real literal {literal}")))?;
+                return Ok(Some(Token::Real(value)));
+            }
+            let value: i64 = literal
+                .parse()
+                .map_err(|_| self.error(format!("bad integer literal {literal}")))?;
+            return Ok(Some(Token::Int(value)));
+        }
+        // Identifier / keyword / date(...) / negative int.
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_alphanumeric() && !"_-#".contains(*c))
+            .map(|(index, _)| index)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error(format!("unexpected character {first:?}")));
+        }
+        let word = &rest[..end];
+        self.pos += end;
+        match word {
+            "true" => return Ok(Some(Token::Bool(true))),
+            "false" => return Ok(Some(Token::Bool(false))),
+            "date" => {
+                // date(YYYY-MM-DD)
+                if !self.rest().starts_with('(') {
+                    return Err(self.error("expected `(` after `date`"));
+                }
+                let body = &self.rest()[1..];
+                let Some(close) = body.find(')') else {
+                    return Err(self.error("unterminated date literal"));
+                };
+                let literal = &body[..close];
+                let parts: Vec<&str> = literal.split('-').collect();
+                if parts.len() != 3 {
+                    return Err(self.error(format!("bad date literal {literal}")));
+                }
+                let year: i32 = parts[0]
+                    .parse()
+                    .map_err(|_| self.error(format!("bad year in {literal}")))?;
+                let month: u8 = parts[1]
+                    .parse()
+                    .map_err(|_| self.error(format!("bad month in {literal}")))?;
+                let day: u8 = parts[2]
+                    .parse()
+                    .map_err(|_| self.error(format!("bad day in {literal}")))?;
+                if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+                    return Err(self.error(format!("date out of range: {literal}")));
+                }
+                self.pos += close + 2;
+                return Ok(Some(Token::Date(Date::new(year, month, day))));
+            }
+            _ => {}
+        }
+        Ok(Some(Token::Ident(word.to_string())))
+    }
+
+    fn tokens(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        while let Some(token) = self.next_token()? {
+            out.push(token);
+        }
+        Ok(out)
+    }
+}
+
+// ---- parser --------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> GoodError {
+        GoodError::InvalidPattern(format!(
+            "parse error at token {}: {}",
+            self.pos,
+            message.into()
+        ))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<()> {
+        match self.next() {
+            Some(token) if &token == expected => Ok(()),
+            other => Err(self.error(format!("expected {expected:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(self.error(format!("expected an identifier, found {other:?}"))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.next() {
+            Some(Token::Str(text)) => Ok(Value::str(text)),
+            Some(Token::Int(value)) => Ok(Value::Int(value)),
+            Some(Token::Real(value)) => Ok(Value::real(value)),
+            Some(Token::Bool(value)) => Ok(Value::Bool(value)),
+            Some(Token::Date(date)) => Ok(Value::Date(date)),
+            other => Err(self.error(format!("expected a value literal, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse the textual pattern notation. Returns the pattern and the map
+/// from declared identifiers to pattern node ids.
+/// # Example
+///
+/// ```
+/// let (pattern, names) = good_core::textual::parse_pattern(r#"
+///     pattern {
+///         info: Info;
+///         name: String = "Rock";
+///         info -name-> name;
+///     }
+/// "#)?;
+/// assert_eq!(pattern.node_count(), 2);
+/// assert!(names.contains_key("info"));
+/// # Ok::<(), good_core::error::GoodError>(())
+/// ```
+pub fn parse_pattern(text: &str) -> Result<(Pattern, BTreeMap<String, NodeId>)> {
+    let tokens = Lexer::new(text).tokens()?;
+    let mut parser = Parser { tokens, pos: 0 };
+
+    // Optional `pattern` keyword, mandatory braces.
+    if matches!(parser.peek(), Some(Token::Ident(word)) if word == "pattern") {
+        parser.next();
+    }
+    parser.expect(&Token::LBrace)?;
+
+    let mut pattern = Pattern::new();
+    let mut names: BTreeMap<String, NodeId> = BTreeMap::new();
+
+    loop {
+        match parser.peek() {
+            None => return Err(parser.error("unexpected end of input, expected `}`")),
+            Some(Token::RBrace) => {
+                parser.next();
+                break;
+            }
+            Some(Token::Bang) => {
+                // Crossed node declaration: `!name: Label;`
+                parser.next();
+                let name = parser.ident()?;
+                parser.expect(&Token::Colon)?;
+                let label = parser.ident()?;
+                parser.expect(&Token::Semi)?;
+                if names.contains_key(&name) {
+                    return Err(parser.error(format!("node {name} declared twice")));
+                }
+                let node = pattern.negated_node(label.as_str());
+                names.insert(name, node);
+            }
+            Some(Token::Ident(_)) => {
+                let name = parser.ident()?;
+                match parser.next() {
+                    Some(Token::Colon) => {
+                        // Node declaration: `name: Label [= value];`
+                        let label = parser.ident()?;
+                        if names.contains_key(&name) {
+                            return Err(parser.error(format!("node {name} declared twice")));
+                        }
+                        let node = match parser.peek() {
+                            Some(Token::Equals) => {
+                                parser.next();
+                                let value = parser.value()?;
+                                pattern.printable(label.as_str(), value)
+                            }
+                            _ => pattern.node(label.as_str()),
+                        };
+                        parser.expect(&Token::Semi)?;
+                        names.insert(name, node);
+                    }
+                    Some(Token::Arrow(label, negated)) => {
+                        // Edge: `src -label-> dst;`
+                        let dst_name = parser.ident()?;
+                        parser.expect(&Token::Semi)?;
+                        let src = *names.get(&name).ok_or_else(|| {
+                            parser.error(format!("edge references undeclared node {name}"))
+                        })?;
+                        let dst = *names.get(&dst_name).ok_or_else(|| {
+                            parser.error(format!("edge references undeclared node {dst_name}"))
+                        })?;
+                        if negated {
+                            pattern.negated_edge(src, label.as_str(), dst);
+                        } else {
+                            pattern.edge(src, label.as_str(), dst);
+                        }
+                    }
+                    other => {
+                        return Err(
+                            parser.error(format!("expected `:` or an edge arrow, found {other:?}"))
+                        )
+                    }
+                }
+            }
+            Some(other) => {
+                return Err(parser.error(format!("unexpected token {other:?}")));
+            }
+        }
+    }
+    if parser.peek().is_some() {
+        return Err(parser.error("trailing input after `}`"));
+    }
+    Ok((pattern, names))
+}
+
+// ---- printer -----------------------------------------------------------------
+
+fn render_value(value: &Value) -> String {
+    match value {
+        Value::Str(text) => format!("{text:?}"),
+        Value::Int(int) => int.to_string(),
+        Value::Real(real) => {
+            let rendered = real.get().to_string();
+            if rendered.contains('.') {
+                rendered
+            } else {
+                format!("{rendered}.0")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Date(date) => {
+            format!("date({:04}-{:02}-{:02})", date.year, date.month, date.day)
+        }
+        Value::Bytes(_) => "\"<bytes>\"".to_string(),
+    }
+}
+
+/// Render a pattern in the textual notation. The output parses back to
+/// an isomorphic pattern (bytes values excepted). Node identifiers are
+/// generated as `n1`, `n2`, ... in id order.
+pub fn format_pattern(pattern: &Pattern) -> String {
+    let mut out = String::from("pattern {\n");
+    let mut names: BTreeMap<NodeId, String> = BTreeMap::new();
+    let mut nodes: Vec<NodeId> = pattern.graph().node_ids().collect();
+    nodes.sort();
+    for (index, node) in nodes.iter().enumerate() {
+        let name = format!("n{}", index + 1);
+        let data = pattern.graph().node(*node).expect("live");
+        match &data.kind {
+            PatternNodeKind::Class(label) => {
+                let bang = if data.negated { "!" } else { "" };
+                match &data.print {
+                    Some(value) => {
+                        writeln!(out, "  {bang}{name}: {label} = {};", render_value(value))
+                            .expect("write");
+                    }
+                    None => writeln!(out, "  {bang}{name}: {label};").expect("write"),
+                }
+            }
+            PatternNodeKind::MethodHead(method) => {
+                writeln!(out, "  # method head for {method}").expect("write");
+                writeln!(out, "  {name}: {method};").expect("write");
+            }
+        }
+        names.insert(*node, name);
+    }
+    let mut edges: Vec<_> = pattern
+        .graph()
+        .edges()
+        .map(|e| {
+            (
+                names[&e.src].clone(),
+                e.payload.label.clone(),
+                e.payload.negated,
+                names[&e.dst].clone(),
+            )
+        })
+        .collect();
+    edges.sort();
+    for (src, label, negated, dst) in edges {
+        let head = if negated { "-!>" } else { "->" };
+        writeln!(out, "  {src} -{label}{head} {dst};").expect("write");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render an operation in the paper's bracket notation (verbose form of
+/// the `Display` impl on [`crate::program::Operation`]).
+pub fn format_operation(op: &crate::program::Operation, scheme: &Scheme) -> String {
+    let _ = scheme;
+    let mut out = String::new();
+    match op {
+        crate::program::Operation::NodeAdd(na) => {
+            writeln!(out, "NA[J, {}, {{", na.label).expect("write");
+            for (label, node) in &na.edges {
+                writeln!(out, "  ({label}, {node:?}),").expect("write");
+            }
+            out.push_str("}] where J =\n");
+            out.push_str(&format_pattern(&na.pattern));
+        }
+        crate::program::Operation::EdgeAdd(ea) => {
+            out.push_str("EA[J, {\n");
+            for edge in &ea.edges {
+                writeln!(
+                    out,
+                    "  ({:?}, {} [{}], {:?}),",
+                    edge.src, edge.label, edge.kind, edge.dst
+                )
+                .expect("write");
+            }
+            out.push_str("}] where J =\n");
+            out.push_str(&format_pattern(&ea.pattern));
+        }
+        crate::program::Operation::NodeDel(nd) => {
+            writeln!(out, "ND[J, {:?}] where J =", nd.target).expect("write");
+            out.push_str(&format_pattern(&nd.pattern));
+        }
+        crate::program::Operation::EdgeDel(ed) => {
+            out.push_str("ED[J, {\n");
+            for (src, label, dst) in &ed.edges {
+                writeln!(out, "  ({src:?}, {label}, {dst:?}),").expect("write");
+            }
+            out.push_str("}] where J =\n");
+            out.push_str(&format_pattern(&ed.pattern));
+        }
+        crate::program::Operation::Abstract(ab) => {
+            writeln!(
+                out,
+                "AB[J, {:?}, {}, {}, {}] where J =",
+                ab.node, ab.group_label, ab.member_edge, ab.key_edge
+            )
+            .expect("write");
+            out.push_str(&format_pattern(&ab.pattern));
+        }
+        crate::program::Operation::Call(mc) => {
+            writeln!(
+                out,
+                "MC[J, {}, receiver {:?}, args {:?}] where J =",
+                mc.method, mc.receiver, mc.args
+            )
+            .expect("write");
+            out.push_str(&format_pattern(&mc.pattern));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use crate::matching::find_matchings;
+    use crate::scheme::SchemeBuilder;
+    use crate::value::ValueType;
+
+    fn scheme() -> Scheme {
+        SchemeBuilder::new()
+            .object("Info")
+            .printable("String", ValueType::Str)
+            .printable("Date", ValueType::Date)
+            .printable("Number", ValueType::Int)
+            .functional("Info", "name", "String")
+            .functional("Info", "created", "Date")
+            .functional("Info", "modified", "Date")
+            .functional("Info", "rank", "Number")
+            .multivalued("Info", "links-to", "Info")
+            .build()
+    }
+
+    const FIGURE4: &str = r#"
+        pattern {
+          info: Info;
+          d: Date = date(1990-01-14);
+          name: String = "Rock";
+          other: Info;
+          info -created-> d;
+          info -name-> name;
+          info -links-to-> other;
+        }
+    "#;
+
+    #[test]
+    fn parses_figure4() {
+        let (pattern, names) = parse_pattern(FIGURE4).unwrap();
+        pattern.validate(&scheme()).unwrap();
+        assert_eq!(pattern.node_count(), 4);
+        assert_eq!(pattern.graph().edge_count(), 3);
+        assert!(names.contains_key("info") && names.contains_key("other"));
+    }
+
+    #[test]
+    fn parsed_pattern_matches_like_the_builder_one() {
+        // Build the same instance as the matching tests and compare.
+        let mut db = crate::instance::Instance::new(scheme());
+        let rock = db.add_object("Info").unwrap();
+        let doors = db.add_object("Info").unwrap();
+        let name = db.add_printable("String", "Rock").unwrap();
+        let date = db.add_printable("Date", Value::date(1990, 1, 14)).unwrap();
+        db.add_edge(rock, "name", name).unwrap();
+        db.add_edge(rock, "created", date).unwrap();
+        db.add_edge(rock, "links-to", doors).unwrap();
+        let (pattern, names) = parse_pattern(FIGURE4).unwrap();
+        let matchings = find_matchings(&pattern, &db).unwrap();
+        assert_eq!(matchings.len(), 1);
+        assert_eq!(matchings[0].image(names["other"]), doors);
+    }
+
+    #[test]
+    fn parses_negation_and_comments() {
+        let text = r#"
+            pattern {
+              # infos that do not link anywhere
+              info: Info;
+              !sink: Info;
+              info -links-to-!> sink;
+            }
+        "#;
+        let (pattern, _) = parse_pattern(text).unwrap();
+        assert!(pattern.has_negation());
+        assert_eq!(pattern.positive_nodes().len(), 1);
+    }
+
+    #[test]
+    fn parses_all_value_kinds() {
+        let text = r#"{
+            a: String = "hello world";
+            b: Number = 42;
+            c: Date = date(1990-12-31);
+        }"#;
+        let (pattern, names) = parse_pattern(text).unwrap();
+        pattern.validate(&scheme()).unwrap();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn roundtrips_through_the_printer() {
+        let (original, _) = parse_pattern(FIGURE4).unwrap();
+        let printed = format_pattern(&original);
+        let (reparsed, _) = parse_pattern(&printed).unwrap();
+        // Compare structurally via the isomorphism checker on the raw
+        // graphs.
+        assert!(good_graph::iso::isomorphic(
+            original.graph(),
+            reparsed.graph(),
+            |n| format!("{:?}{:?}{}", n.kind, n.print, n.negated),
+            |n| format!("{:?}{:?}{}", n.kind, n.print, n.negated),
+            |e| (e.label.clone(), e.negated),
+            |e| (e.label.clone(), e.negated),
+        ));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        for (text, needle) in [
+            ("{ info Info; }", "expected `:`"),
+            ("{ info: Info ", "found None"),
+            ("{ a -x-> b; }", "undeclared node"),
+            ("{ a: Info; a: Info; }", "declared twice"),
+            ("{ a: Info; } trailing", "trailing input"),
+            ("{ v: String = \"unterminated; }", "unterminated string"),
+            ("{ d: Date = date(1990-13-01); }", "out of range"),
+            ("{ d: Date = date(oops); }", "bad"),
+        ] {
+            let err = parse_pattern(text).unwrap_err();
+            let message = err.to_string();
+            assert!(
+                message.contains(needle),
+                "for {text:?} expected {needle:?} in {message:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn format_operation_renders_bracket_notation() {
+        let (pattern, names) = parse_pattern(FIGURE4).unwrap();
+        let na =
+            crate::ops::NodeAddition::new(pattern, "Tag", [(Label::new("of"), names["other"])]);
+        let text = format_operation(&crate::program::Operation::NodeAdd(na), &scheme());
+        assert!(text.starts_with("NA[J, Tag"));
+        assert!(text.contains("pattern {"));
+        assert!(text.contains("links-to"));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input() {
+        let mut runner = proptest::test_runner::TestRunner::default();
+        runner
+            .run(
+                &proptest::string::string_regex("[ -~\n]{0,80}").unwrap(),
+                |text| {
+                    let _ = parse_pattern(&text); // Ok or Err, never panic
+                    Ok(())
+                },
+            )
+            .unwrap();
+        // And on near-miss inputs around valid syntax:
+        let mut runner = proptest::test_runner::TestRunner::default();
+        runner
+            .run(
+                &proptest::string::string_regex(
+                    r#"\{( *[a-z]{1,3}[:;!=-]{1,3}[A-Za-z0-9"(){}]{0,8} *)*\}?"#,
+                )
+                .unwrap(),
+                |text| {
+                    let _ = parse_pattern(&text);
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_pattern_parses() {
+        let (pattern, names) = parse_pattern("{}").unwrap();
+        assert_eq!(pattern.node_count(), 0);
+        assert!(names.is_empty());
+    }
+}

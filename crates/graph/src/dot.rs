@@ -1,0 +1,226 @@
+//! Graphviz DOT emission.
+//!
+//! The GOOD paper's interface is graphical: schemes and instances are
+//! drawn with rectangular object classes, oval printable classes, single
+//! arrows for functional edges and double arrows for multivalued edges.
+//! This module is the reproduction's rendering path — `good-core` maps
+//! its structures onto [`DotNode`]/[`DotEdge`] styling and this writer
+//! produces valid DOT text.
+
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write;
+
+/// Node shapes mirroring the paper's drawing conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// User-defined object classes (rectangles in the paper).
+    Box,
+    /// System-defined printable classes (ovals in the paper).
+    Ellipse,
+    /// Method nodes (diamonds in the paper).
+    Diamond,
+}
+
+impl Shape {
+    fn as_str(self) -> &'static str {
+        match self {
+            Shape::Box => "box",
+            Shape::Ellipse => "ellipse",
+            Shape::Diamond => "diamond",
+        }
+    }
+}
+
+/// Styling for one node.
+#[derive(Debug, Clone)]
+pub struct DotNode {
+    /// The text shown inside the node.
+    pub label: String,
+    /// Node shape.
+    pub shape: Shape,
+    /// Bold outline — the paper uses bold for parts added by an operation.
+    pub bold: bool,
+    /// Double outline — the paper uses double outlines for deleted parts.
+    pub doubled: bool,
+}
+
+impl DotNode {
+    /// A plain box node with the given label.
+    pub fn boxed(label: impl Into<String>) -> Self {
+        DotNode {
+            label: label.into(),
+            shape: Shape::Box,
+            bold: false,
+            doubled: false,
+        }
+    }
+
+    /// A plain oval node with the given label.
+    pub fn oval(label: impl Into<String>) -> Self {
+        DotNode {
+            label: label.into(),
+            shape: Shape::Ellipse,
+            bold: false,
+            doubled: false,
+        }
+    }
+}
+
+/// Styling for one edge.
+#[derive(Debug, Clone)]
+pub struct DotEdge {
+    /// The edge label text.
+    pub label: String,
+    /// Double-headed arrow — the paper's rendering of multivalued edges.
+    pub double_arrow: bool,
+    /// Bold — parts added by an operation.
+    pub bold: bool,
+    /// Dashed — the paper's set-equality part of an abstraction.
+    pub dashed: bool,
+}
+
+impl DotEdge {
+    /// A plain single-arrow edge with the given label.
+    pub fn plain(label: impl Into<String>) -> Self {
+        DotEdge {
+            label: label.into(),
+            double_arrow: false,
+            bold: false,
+            dashed: false,
+        }
+    }
+}
+
+/// Escape a string for use inside a double-quoted DOT identifier.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render `graph` to DOT, with `node_style`/`edge_style` mapping payloads
+/// to presentation.
+pub fn to_dot<N, E>(
+    graph: &Graph<N, E>,
+    title: &str,
+    mut node_style: impl FnMut(NodeId, &N) -> DotNode,
+    mut edge_style: impl FnMut(&E) -> DotEdge,
+) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", escape(title)).expect("write to String");
+    writeln!(out, "  rankdir=LR;").expect("write to String");
+    writeln!(out, "  node [fontname=\"Helvetica\"];").expect("write to String");
+    writeln!(out, "  edge [fontname=\"Helvetica\"];").expect("write to String");
+    for node in graph.nodes() {
+        let style = node_style(node.id, node.payload);
+        let mut attrs = format!(
+            "label=\"{}\", shape={}",
+            escape(&style.label),
+            style.shape.as_str()
+        );
+        if style.bold {
+            attrs.push_str(", style=bold, penwidth=2");
+        }
+        if style.doubled {
+            attrs.push_str(", peripheries=2");
+        }
+        writeln!(out, "  n{} [{}];", node.id.index(), attrs).expect("write to String");
+    }
+    for edge in graph.edges() {
+        let style = edge_style(edge.payload);
+        let mut attrs = format!("label=\"{}\"", escape(&style.label));
+        if style.double_arrow {
+            attrs.push_str(", arrowhead=\"normalnormal\"");
+        }
+        if style.bold {
+            attrs.push_str(", style=bold, penwidth=2");
+        }
+        if style.dashed {
+            attrs.push_str(", style=dashed");
+        }
+        writeln!(
+            out,
+            "  n{} -> n{} [{}];",
+            edge.src.index(),
+            edge.dst.index(),
+            attrs
+        )
+        .expect("write to String");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: Graph<&str, &str> = Graph::new();
+        let a = g.add_node("Info");
+        let b = g.add_node("Date");
+        g.add_edge(a, b, "created");
+        let dot = to_dot(
+            &g,
+            "scheme",
+            |_, n| DotNode::boxed(*n),
+            |e| DotEdge::plain(*e),
+        );
+        assert!(dot.starts_with("digraph \"scheme\""));
+        assert!(dot.contains("label=\"Info\""));
+        assert!(dot.contains("label=\"created\""));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_quotes_and_newlines() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+    }
+
+    #[test]
+    fn styles_are_emitted() {
+        let mut g: Graph<&str, &str> = Graph::new();
+        let a = g.add_node("String");
+        let b = g.add_node("M");
+        g.add_edge(a, b, "links");
+        let dot = to_dot(
+            &g,
+            "styled",
+            |_, n| {
+                if *n == "String" {
+                    DotNode::oval(*n)
+                } else {
+                    DotNode {
+                        label: (*n).into(),
+                        shape: Shape::Diamond,
+                        bold: true,
+                        doubled: true,
+                    }
+                }
+            },
+            |e| DotEdge {
+                label: (*e).into(),
+                double_arrow: true,
+                bold: true,
+                dashed: true,
+            },
+        );
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("arrowhead=\"normalnormal\""));
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Labeled graph isomorphism.
+//!
+//! GOOD's operations are "deterministic up to the particular choice of
+//! new objects" (Section 3 of the paper): two runs of the same program
+//! produce instances that differ only in node identity. The test suites
+//! therefore compare results with a *labeled isomorphism* check rather
+//! than by id equality.
+//!
+//! The checker is a VF2-flavoured backtracking search with the usual
+//! pruning (label multisets, degree profiles, incremental adjacency
+//! consistency). It is exact and complete; the instances compared in
+//! tests are small enough that worst-case behaviour is irrelevant, and
+//! printable values give most nodes a unique key anyway.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A multiset of edge keys between one ordered pair of nodes.
+fn edge_keys_between<N, E, L: Ord>(
+    graph: &Graph<N, E>,
+    src: NodeId,
+    dst: NodeId,
+    edge_key: &impl Fn(&E) -> L,
+) -> Vec<L> {
+    let mut keys: Vec<L> = graph
+        .out_edges(src)
+        .filter(|edge| edge.dst == dst)
+        .map(|edge| edge_key(edge.payload))
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Find a label- and edge-preserving bijection from `g1` to `g2`, if one
+/// exists.
+///
+/// `node_key` and `edge_key` extract comparison keys from payloads; two
+/// nodes (edges) may correspond only if their keys are equal. Returns a
+/// map from `g1` node ids to `g2` node ids.
+pub fn find_isomorphism<N1, E1, N2, E2, K, L>(
+    g1: &Graph<N1, E1>,
+    g2: &Graph<N2, E2>,
+    node_key1: impl Fn(&N1) -> K,
+    node_key2: impl Fn(&N2) -> K,
+    edge_key1: impl Fn(&E1) -> L,
+    edge_key2: impl Fn(&E2) -> L,
+) -> Option<HashMap<NodeId, NodeId>>
+where
+    K: Eq + Hash + Ord + Clone,
+    L: Eq + Hash + Ord + Clone,
+{
+    if g1.node_count() != g2.node_count() || g1.edge_count() != g2.edge_count() {
+        return None;
+    }
+
+    // Quick rejection: multiset of (node key, out-degree, in-degree)
+    // profiles must coincide.
+    let mut profile1: Vec<(K, usize, usize)> = g1
+        .nodes()
+        .map(|n| (node_key1(n.payload), n.out_degree, n.in_degree))
+        .collect();
+    let mut profile2: Vec<(K, usize, usize)> = g2
+        .nodes()
+        .map(|n| (node_key2(n.payload), n.out_degree, n.in_degree))
+        .collect();
+    profile1.sort();
+    profile2.sort();
+    if profile1 != profile2 {
+        return None;
+    }
+
+    // Candidate sets per g1 node: same key and degree profile.
+    let nodes1: Vec<NodeId> = g1.node_ids().collect();
+    let mut candidates: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &u in &nodes1 {
+        let uref = g1.node_ref(u).expect("live");
+        let key = node_key1(uref.payload);
+        let cands: Vec<NodeId> = g2
+            .nodes()
+            .filter(|v| {
+                node_key2(v.payload) == key
+                    && v.out_degree == uref.out_degree
+                    && v.in_degree == uref.in_degree
+            })
+            .map(|v| v.id)
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        candidates.insert(u, cands);
+    }
+
+    // Order g1 nodes: fewest candidates first, then highest degree —
+    // most-constrained-variable heuristic.
+    let mut order = nodes1.clone();
+    order.sort_by_key(|u| {
+        let degree = g1.out_degree(*u) + g1.in_degree(*u);
+        (candidates[u].len(), usize::MAX - degree)
+    });
+
+    struct Search<'a, N1, E1, N2, E2, EK1, EK2> {
+        g1: &'a Graph<N1, E1>,
+        g2: &'a Graph<N2, E2>,
+        edge_key1: EK1,
+        edge_key2: EK2,
+        order: Vec<NodeId>,
+        candidates: HashMap<NodeId, Vec<NodeId>>,
+        forward: HashMap<NodeId, NodeId>,
+        reverse: HashMap<NodeId, NodeId>,
+    }
+
+    impl<'a, N1, E1, N2, E2, EK1, EK2, L> Search<'a, N1, E1, N2, E2, EK1, EK2>
+    where
+        EK1: Fn(&E1) -> L,
+        EK2: Fn(&E2) -> L,
+        L: Ord + Clone,
+    {
+        fn consistent(&self, u: NodeId, v: NodeId) -> bool {
+            // Self-loops.
+            if edge_keys_between(self.g1, u, u, &self.edge_key1)
+                != edge_keys_between(self.g2, v, v, &self.edge_key2)
+            {
+                return false;
+            }
+            // Edges between u and every already-mapped node must agree
+            // in both directions, as label multisets.
+            for (&w, &mw) in &self.forward {
+                if edge_keys_between(self.g1, u, w, &self.edge_key1)
+                    != edge_keys_between(self.g2, v, mw, &self.edge_key2)
+                {
+                    return false;
+                }
+                if edge_keys_between(self.g1, w, u, &self.edge_key1)
+                    != edge_keys_between(self.g2, mw, v, &self.edge_key2)
+                {
+                    return false;
+                }
+            }
+            true
+        }
+
+        fn solve(&mut self, depth: usize) -> bool {
+            if depth == self.order.len() {
+                return true;
+            }
+            let u = self.order[depth];
+            let cands = self.candidates[&u].clone();
+            for v in cands {
+                if self.reverse.contains_key(&v) || !self.consistent(u, v) {
+                    continue;
+                }
+                self.forward.insert(u, v);
+                self.reverse.insert(v, u);
+                if self.solve(depth + 1) {
+                    return true;
+                }
+                self.forward.remove(&u);
+                self.reverse.remove(&v);
+            }
+            false
+        }
+    }
+
+    let mut search = Search {
+        g1,
+        g2,
+        edge_key1,
+        edge_key2,
+        order,
+        candidates,
+        forward: HashMap::new(),
+        reverse: HashMap::new(),
+    };
+    search.solve(0).then_some(search.forward)
+}
+
+/// Convenience wrapper: are the two graphs isomorphic under the given
+/// key extractors?
+pub fn isomorphic<N1, E1, N2, E2, K, L>(
+    g1: &Graph<N1, E1>,
+    g2: &Graph<N2, E2>,
+    node_key1: impl Fn(&N1) -> K,
+    node_key2: impl Fn(&N2) -> K,
+    edge_key1: impl Fn(&E1) -> L,
+    edge_key2: impl Fn(&E2) -> L,
+) -> bool
+where
+    K: Eq + Hash + Ord + Clone,
+    L: Eq + Hash + Ord + Clone,
+{
+    find_isomorphism(g1, g2, node_key1, node_key2, edge_key1, edge_key2).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type G = Graph<&'static str, &'static str>;
+
+    fn same(a: &G, b: &G) -> bool {
+        isomorphic(a, b, |n| *n, |n| *n, |e| *e, |e| *e)
+    }
+
+    fn triangle(labels: [&'static str; 3]) -> G {
+        let mut g = Graph::new();
+        let a = g.add_node(labels[0]);
+        let b = g.add_node(labels[1]);
+        let c = g.add_node(labels[2]);
+        g.add_edge(a, b, "x");
+        g.add_edge(b, c, "x");
+        g.add_edge(c, a, "x");
+        g
+    }
+
+    #[test]
+    fn identical_graphs_are_isomorphic() {
+        let g = triangle(["a", "b", "c"]);
+        assert!(same(&g, &g.clone()));
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let g1 = triangle(["a", "b", "c"]);
+        let mut g2 = Graph::new();
+        let c = g2.add_node("c");
+        let a = g2.add_node("a");
+        let b = g2.add_node("b");
+        g2.add_edge(a, b, "x");
+        g2.add_edge(b, c, "x");
+        g2.add_edge(c, a, "x");
+        let mapping = find_isomorphism(&g1, &g2, |n| *n, |n| *n, |e| *e, |e| *e).unwrap();
+        assert_eq!(mapping.len(), 3);
+    }
+
+    #[test]
+    fn node_labels_distinguish() {
+        let g1 = triangle(["a", "b", "c"]);
+        let g2 = triangle(["a", "b", "d"]);
+        assert!(!same(&g1, &g2));
+    }
+
+    #[test]
+    fn edge_labels_distinguish() {
+        let mut g1: G = Graph::new();
+        let a = g1.add_node("a");
+        let b = g1.add_node("b");
+        g1.add_edge(a, b, "x");
+        let mut g2: G = Graph::new();
+        let a2 = g2.add_node("a");
+        let b2 = g2.add_node("b");
+        g2.add_edge(a2, b2, "y");
+        assert!(!same(&g1, &g2));
+    }
+
+    #[test]
+    fn edge_direction_distinguishes() {
+        let mut g1: G = Graph::new();
+        let a = g1.add_node("a");
+        let b = g1.add_node("b");
+        g1.add_edge(a, b, "x");
+        let mut g2: G = Graph::new();
+        let a2 = g2.add_node("a");
+        let b2 = g2.add_node("b");
+        g2.add_edge(b2, a2, "x");
+        assert!(!same(&g1, &g2));
+    }
+
+    #[test]
+    fn parallel_edge_multiplicity_distinguishes() {
+        let mut g1: G = Graph::new();
+        let a = g1.add_node("a");
+        let b = g1.add_node("b");
+        g1.add_edge(a, b, "x");
+        g1.add_edge(a, b, "x");
+        let mut g2: G = Graph::new();
+        let a2 = g2.add_node("a");
+        let b2 = g2.add_node("b");
+        g2.add_edge(a2, b2, "x");
+        assert!(!same(&g1, &g2)); // edge counts differ
+    }
+
+    #[test]
+    fn self_loops_must_match() {
+        let mut g1: G = Graph::new();
+        let a = g1.add_node("a");
+        let b = g1.add_node("a");
+        g1.add_edge(a, a, "x");
+        g1.add_edge(a, b, "y");
+        let mut g2: G = Graph::new();
+        let a2 = g2.add_node("a");
+        let b2 = g2.add_node("a");
+        g2.add_edge(a2, b2, "x");
+        g2.add_edge(a2, b2, "y");
+        assert!(!same(&g1, &g2));
+    }
+
+    #[test]
+    fn automorphic_square_with_same_labels() {
+        // 4-cycle with identical labels: isomorphic to a rotated copy.
+        let build = |start: usize| {
+            let mut g: Graph<&str, &str> = Graph::new();
+            let ids: Vec<_> = (0..4).map(|_| g.add_node("n")).collect();
+            for i in 0..4 {
+                g.add_edge(ids[(start + i) % 4], ids[(start + i + 1) % 4], "e");
+            }
+            g
+        };
+        let g1 = build(0);
+        let g2 = build(2);
+        assert!(same(&g1, &g2));
+    }
+
+    #[test]
+    fn square_vs_two_two_cycles() {
+        // Same label/degree profiles, different structure: a directed
+        // 4-cycle vs two directed 2-cycles. Requires real backtracking.
+        let mut g1: Graph<&str, &str> = Graph::new();
+        let ids: Vec<_> = (0..4).map(|_| g1.add_node("n")).collect();
+        for i in 0..4 {
+            g1.add_edge(ids[i], ids[(i + 1) % 4], "e");
+        }
+        let mut g2: Graph<&str, &str> = Graph::new();
+        let jds: Vec<_> = (0..4).map(|_| g2.add_node("n")).collect();
+        g2.add_edge(jds[0], jds[1], "e");
+        g2.add_edge(jds[1], jds[0], "e");
+        g2.add_edge(jds[2], jds[3], "e");
+        g2.add_edge(jds[3], jds[2], "e");
+        assert!(!same(&g1, &g2));
+    }
+
+    #[test]
+    fn mapping_preserves_edges() {
+        let g1 = triangle(["a", "b", "c"]);
+        let g2 = triangle(["a", "b", "c"]);
+        let m = find_isomorphism(&g1, &g2, |n| *n, |n| *n, |e| *e, |e| *e).unwrap();
+        for edge in g1.edges() {
+            let (ms, md) = (m[&edge.src], m[&edge.dst]);
+            assert!(g2
+                .out_edges(ms)
+                .any(|e2| e2.dst == md && e2.payload == edge.payload));
+        }
+    }
+
+    #[test]
+    fn empty_graphs_are_isomorphic() {
+        let g1: G = Graph::new();
+        let g2: G = Graph::new();
+        assert!(same(&g1, &g2));
+    }
+}

@@ -1,0 +1,225 @@
+//! Property tests for the graph substrate: model-based testing of the
+//! generational arena, structural invariants of the multigraph under
+//! random mutation, and metamorphic tests of the isomorphism checker.
+
+use good_graph::{algo, iso, Arena, Graph, NodeId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+// ---- arena: model-based against a BTreeMap --------------------------------
+
+#[derive(Debug, Clone)]
+enum ArenaOp {
+    Insert(u16),
+    RemoveNth(usize),
+    RemoveStale,
+}
+
+fn arb_arena_ops() -> impl Strategy<Value = Vec<ArenaOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u16>().prop_map(ArenaOp::Insert),
+            any::<usize>().prop_map(ArenaOp::RemoveNth),
+            Just(ArenaOp::RemoveStale),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn arena_behaves_like_a_map(ops in arb_arena_ops()) {
+        let mut arena = Arena::new();
+        let mut model: BTreeMap<good_graph::ArenaId, u16> = BTreeMap::new();
+        let mut stale: Vec<good_graph::ArenaId> = Vec::new();
+        for op in ops {
+            match op {
+                ArenaOp::Insert(value) => {
+                    let id = arena.insert(value);
+                    prop_assert!(model.insert(id, value).is_none(), "id reuse!");
+                }
+                ArenaOp::RemoveNth(raw) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let key = *model.keys().nth(raw % model.len()).expect("nonempty");
+                    let expected = model.remove(&key);
+                    prop_assert_eq!(arena.remove(key), expected);
+                    stale.push(key);
+                }
+                ArenaOp::RemoveStale => {
+                    for id in &stale {
+                        prop_assert_eq!(arena.get(*id), None, "stale id resolved");
+                        prop_assert_eq!(arena.remove(*id), None);
+                    }
+                }
+            }
+            prop_assert_eq!(arena.len(), model.len());
+        }
+        // Final coherence sweep.
+        for (id, value) in &model {
+            prop_assert_eq!(arena.get(*id), Some(value));
+        }
+        let live: Vec<_> = arena.iter().map(|(id, v)| (id, *v)).collect();
+        prop_assert_eq!(live.len(), model.len());
+    }
+}
+
+// ---- graph structural invariants --------------------------------------------
+
+#[derive(Debug, Clone)]
+enum GraphOp {
+    AddNode(u8),
+    AddEdge(usize, usize, u8),
+    RemoveNode(usize),
+    RemoveEdge(usize),
+}
+
+fn arb_graph_ops() -> impl Strategy<Value = Vec<GraphOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(GraphOp::AddNode),
+            (any::<usize>(), any::<usize>(), any::<u8>())
+                .prop_map(|(a, b, l)| GraphOp::AddEdge(a, b, l)),
+            any::<usize>().prop_map(GraphOp::RemoveNode),
+            any::<usize>().prop_map(GraphOp::RemoveEdge),
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn graph_degree_bookkeeping_is_consistent(ops in arb_graph_ops()) {
+        let mut graph: Graph<u8, u8> = Graph::new();
+        for op in ops {
+            match op {
+                GraphOp::AddNode(label) => {
+                    graph.add_node(label);
+                }
+                GraphOp::AddEdge(a, b, label) => {
+                    let nodes: Vec<NodeId> = graph.node_ids().collect();
+                    if nodes.is_empty() {
+                        continue;
+                    }
+                    let src = nodes[a % nodes.len()];
+                    let dst = nodes[b % nodes.len()];
+                    graph.add_edge(src, dst, label);
+                }
+                GraphOp::RemoveNode(raw) => {
+                    let nodes: Vec<NodeId> = graph.node_ids().collect();
+                    if nodes.is_empty() {
+                        continue;
+                    }
+                    graph.remove_node(nodes[raw % nodes.len()]);
+                }
+                GraphOp::RemoveEdge(raw) => {
+                    let edges: Vec<_> = graph.edge_ids().collect();
+                    if edges.is_empty() {
+                        continue;
+                    }
+                    graph.remove_edge(edges[raw % edges.len()]);
+                }
+            }
+            // Invariants after every step:
+            let out_sum: usize = graph.node_ids().map(|n| graph.out_degree(n)).sum();
+            let in_sum: usize = graph.node_ids().map(|n| graph.in_degree(n)).sum();
+            prop_assert_eq!(out_sum, graph.edge_count());
+            prop_assert_eq!(in_sum, graph.edge_count());
+            for edge in graph.edges() {
+                prop_assert!(graph.contains_node(edge.src), "dangling src");
+                prop_assert!(graph.contains_node(edge.dst), "dangling dst");
+            }
+        }
+    }
+}
+
+// ---- isomorphism metamorphics ---------------------------------------------------
+
+fn arb_labeled_graph() -> impl Strategy<Value = Graph<u8, u8>> {
+    (
+        proptest::collection::vec(0u8..4, 1..8),
+        proptest::collection::vec((any::<usize>(), any::<usize>(), 0u8..3), 0..14),
+    )
+        .prop_map(|(labels, edges)| {
+            let mut graph = Graph::new();
+            let ids: Vec<NodeId> = labels.into_iter().map(|l| graph.add_node(l)).collect();
+            for (a, b, label) in edges {
+                graph.add_edge(ids[a % ids.len()], ids[b % ids.len()], label);
+            }
+            graph
+        })
+}
+
+/// Rebuild `graph` with nodes inserted in a rotated order.
+fn rotate(graph: &Graph<u8, u8>, by: usize) -> Graph<u8, u8> {
+    let mut out = Graph::new();
+    let mut nodes: Vec<_> = graph.node_ids().collect();
+    if nodes.is_empty() {
+        return out;
+    }
+    let len = nodes.len();
+    nodes.rotate_left(by % len);
+    let mut map = BTreeMap::new();
+    for node in &nodes {
+        map.insert(*node, out.add_node(*graph.node(*node).expect("live")));
+    }
+    for edge in graph.edges() {
+        out.add_edge(map[&edge.src], map[&edge.dst], *edge.payload);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn rotation_preserves_isomorphism(graph in arb_labeled_graph(), by in 0usize..8) {
+        let rotated = rotate(&graph, by);
+        prop_assert!(iso::isomorphic(
+            &graph, &rotated,
+            |n| *n, |n| *n, |e| *e, |e| *e,
+        ));
+    }
+
+    #[test]
+    fn adding_a_uniquely_labeled_node_breaks_isomorphism(graph in arb_labeled_graph()) {
+        let mut bigger = rotate(&graph, 1);
+        bigger.add_node(250); // label outside the generated range
+        prop_assert!(!iso::isomorphic(
+            &graph, &bigger,
+            |n| *n, |n| *n, |e| *e, |e| *e,
+        ));
+    }
+
+    #[test]
+    fn relabeling_an_edge_breaks_isomorphism(graph in arb_labeled_graph()) {
+        let mut changed = rotate(&graph, 0);
+        let Some(edge) = changed.edge_ids().next() else {
+            return Ok(()); // no edges to perturb
+        };
+        *changed.edge_mut(edge).expect("live") = 99;
+        prop_assert!(!iso::isomorphic(
+            &graph, &changed,
+            |n| *n, |n| *n, |e| *e, |e| *e,
+        ));
+    }
+
+    #[test]
+    fn transitive_closure_is_monotone_and_transitive(graph in arb_labeled_graph()) {
+        let closure = algo::transitive_closure_by(&graph, |_| true);
+        // Every direct edge is in the closure.
+        for edge in graph.edges() {
+            prop_assert!(closure[&edge.src].contains(&edge.dst));
+        }
+        // Transitivity.
+        for (node, reachable) in &closure {
+            for mid in reachable {
+                for far in &closure[mid] {
+                    prop_assert!(
+                        closure[node].contains(far),
+                        "transitivity broken: {node:?} -> {mid:?} -> {far:?}"
+                    );
+                }
+            }
+        }
+    }
+}

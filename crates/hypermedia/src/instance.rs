@@ -1,0 +1,330 @@
+//! The hyper-media object base instance of Figures 2–3.
+//!
+//! The instance contains:
+//!
+//! * a *Music History* document (created Jan 12, modified Jan 14,
+//!   comment "Author: Jones") linking to *Rock*, *Classical Music* and
+//!   *Jazz* documents;
+//! * two versions of the Rock document — the old one created Jan 12,
+//!   the new one created Jan 14 — connected by a `Version` node; both
+//!   link to *The Doors*, and the new version additionally links to
+//!   *Pinkfloyd*;
+//! * a `Reference` node recording that *The Beatles* is a reference
+//!   occurring in the *Jazz* document;
+//! * *Classical Music* linking to *Mozart*;
+//! * the Figure 3 content: Pinkfloyd's two data items (a sound clip and
+//!   a text) and The Doors' two data items (a graphic and a text), each
+//!   modeled as `Info ← isa ← Data ← isa ← Sound/Text/Graphics` chains
+//!   with their media attributes.
+//!
+//! Printable nodes are shared: the instance contains exactly one
+//! `Jan 12, 1990` date node, as the paper stresses ("in reality, only
+//! one such node appears in the object base instance").
+
+use crate::scheme::build_scheme;
+use good_core::instance::Instance;
+use good_core::value::Value;
+use good_graph::NodeId;
+
+/// Handles to the named nodes of Figures 2–3, for tests and figures.
+#[derive(Debug, Clone)]
+pub struct InstanceHandles {
+    /// The Music History info node.
+    pub music_history: NodeId,
+    /// The *new* Rock version (created Jan 14) — the node the Figure 4
+    /// pattern matches.
+    pub rock_new: NodeId,
+    /// The *old* Rock version (created Jan 12).
+    pub rock_old: NodeId,
+    /// The Version node connecting the two Rock versions.
+    pub version: NodeId,
+    /// The Classical Music info node.
+    pub classical: NodeId,
+    /// The Jazz info node.
+    pub jazz: NodeId,
+    /// The Doors info node (marked ② in Figure 2).
+    pub doors: NodeId,
+    /// The Pinkfloyd info node (marked ① in Figure 2).
+    pub pinkfloyd: NodeId,
+    /// The Beatles info node.
+    pub beatles: NodeId,
+    /// The Mozart info node.
+    pub mozart: NodeId,
+    /// The Reference node (Beatles in Jazz).
+    pub reference: NodeId,
+    /// Pinkfloyd's two content infos (sound, text), per Figure 3.
+    pub pinkfloyd_contents: [NodeId; 2],
+    /// The Doors' two content infos (graphics, text), per Figure 3.
+    pub doors_contents: [NodeId; 2],
+}
+
+/// Build the Figures 2–3 instance. Returns the instance plus handles to
+/// its named nodes.
+pub fn build_instance() -> (Instance, InstanceHandles) {
+    let mut db = Instance::new(build_scheme());
+    let jan12 = Value::date(1990, 1, 12);
+    let jan14 = Value::date(1990, 1, 14);
+
+    let named_info = |db: &mut Instance, name: &str, created: &Value| -> NodeId {
+        let info = db.add_object("Info").expect("Info in scheme");
+        let name_node = db.add_printable("String", name).expect("String in scheme");
+        db.add_edge(info, "name", name_node).expect("name edge");
+        let date_node = db
+            .add_printable("Date", created.clone())
+            .expect("Date in scheme");
+        db.add_edge(info, "created", date_node)
+            .expect("created edge");
+        info
+    };
+
+    // ---- Figure 2: the document graph -----------------------------------
+    let music_history = named_info(&mut db, "Music History", &jan12);
+    let modified = db.add_printable("Date", jan14.clone()).expect("date");
+    db.add_edge(music_history, "modified", modified)
+        .expect("modified edge");
+    let comment = db.add_object("Comment").expect("Comment");
+    let comment_text = db.add_printable("String", "Author: Jones").expect("string");
+    db.add_edge(comment, "is", comment_text).expect("is edge");
+    db.add_edge(music_history, "comment", comment)
+        .expect("comment edge");
+
+    let rock_new = named_info(&mut db, "Rock", &jan14);
+    // The old Rock version shares the printable name node "Rock".
+    let rock_old = {
+        let info = db.add_object("Info").expect("Info");
+        let name_node = db.add_printable("String", "Rock").expect("shared name");
+        db.add_edge(info, "name", name_node).expect("name edge");
+        let date_node = db
+            .add_printable("Date", jan12.clone())
+            .expect("shared date");
+        db.add_edge(info, "created", date_node)
+            .expect("created edge");
+        info
+    };
+    let version = db.add_object("Version").expect("Version");
+    db.add_edge(version, "new", rock_new).expect("new edge");
+    db.add_edge(version, "old", rock_old).expect("old edge");
+
+    let classical = named_info(&mut db, "Classical Music", &jan12);
+    let jazz = named_info(&mut db, "Jazz", &jan12);
+    let doors = named_info(&mut db, "The Doors", &jan12);
+    let pinkfloyd = named_info(&mut db, "Pinkfloyd", &jan14);
+    let beatles = named_info(&mut db, "The Beatles", &jan12);
+    let mozart = named_info(&mut db, "Mozart", &jan12);
+
+    db.add_edge(music_history, "links-to", rock_new)
+        .expect("link");
+    db.add_edge(music_history, "links-to", classical)
+        .expect("link");
+    db.add_edge(music_history, "links-to", jazz).expect("link");
+    db.add_edge(rock_new, "links-to", doors).expect("link");
+    db.add_edge(rock_new, "links-to", pinkfloyd).expect("link");
+    // Both Rock versions link to The Doors and Pinkfloyd — Figure 8
+    // needs four matchings ("there are four matchings of the source
+    // pattern"), i.e. each of the two Rock versions links to two infos
+    // with creation dates.
+    db.add_edge(rock_old, "links-to", doors).expect("link");
+    db.add_edge(rock_old, "links-to", pinkfloyd).expect("link");
+    db.add_edge(classical, "links-to", mozart).expect("link");
+
+    // The Beatles is a reference occurring in the Jazz document.
+    let reference = db.add_object("Reference").expect("Reference");
+    db.add_edge(reference, "isa", beatles).expect("isa edge");
+    db.add_edge(reference, "in", jazz).expect("in edge");
+
+    // ---- Figure 3: content of Pinkfloyd (①) and The Doors (②) ----------
+    // Each content item: Info ← isa ← Data ← isa ← <medium>.
+    let content_info = |db: &mut Instance, medium: &str| -> (NodeId, NodeId) {
+        let info = db.add_object("Info").expect("Info");
+        let data = db.add_object("Data").expect("Data");
+        db.add_edge(data, "isa", info).expect("isa");
+        let media = db.add_object(medium).expect("medium class");
+        db.add_edge(media, "isa", data).expect("isa");
+        (info, media)
+    };
+
+    // Pinkfloyd: a sound clip and a text.
+    let (floyd_sound_info, floyd_sound) = content_info(&mut db, "Sound");
+    let freq = db.add_printable("Number", 1000i64).expect("number");
+    db.add_edge(floyd_sound, "frequency", freq)
+        .expect("frequency");
+    let stream = db
+        .add_printable("Bitstream", Value::bytes(vec![0b0100_1101, 0b0111_0000]))
+        .expect("bitstream");
+    db.add_edge(floyd_sound, "data", stream).expect("data");
+
+    let (floyd_text_info, floyd_text) = content_info(&mut db, "Text");
+    let words = db.add_printable("Number", 15_000i64).expect("number");
+    db.add_edge(floyd_text, "#words", words).expect("#words");
+    let long = db
+        .add_printable("Longstring", "Pinkfloyd was created…")
+        .expect("longstring");
+    db.add_edge(floyd_text, "data", long).expect("data");
+
+    db.add_edge(pinkfloyd, "links-to", floyd_sound_info)
+        .expect("link");
+    db.add_edge(pinkfloyd, "links-to", floyd_text_info)
+        .expect("link");
+
+    // The Doors: a graphic and a text.
+    let (doors_gfx_info, doors_gfx) = content_info(&mut db, "Graphics");
+    let width = db.add_printable("Number", 2000i64).expect("number");
+    let height = db.add_printable("Number", 64i64).expect("number");
+    db.add_edge(doors_gfx, "width", width).expect("width");
+    db.add_edge(doors_gfx, "height", height).expect("height");
+    let bitmap = db
+        .add_printable("Bitmap", Value::bytes(vec![0b0101_1000, 0b1000_0000]))
+        .expect("bitmap");
+    db.add_edge(doors_gfx, "data", bitmap).expect("data");
+
+    let (doors_text_info, doors_text) = content_info(&mut db, "Text");
+    let doors_words = db.add_printable("Number", 1500i64).expect("number");
+    db.add_edge(doors_text, "#words", doors_words)
+        .expect("#words");
+    let doors_long = db
+        .add_printable("Longstring", "The Doors are a…")
+        .expect("longstring");
+    db.add_edge(doors_text, "data", doors_long).expect("data");
+
+    db.add_edge(doors, "links-to", doors_gfx_info)
+        .expect("link");
+    db.add_edge(doors, "links-to", doors_text_info)
+        .expect("link");
+
+    let handles = InstanceHandles {
+        music_history,
+        rock_new,
+        rock_old,
+        version,
+        classical,
+        jazz,
+        doors,
+        pinkfloyd,
+        beatles,
+        mozart,
+        reference,
+        pinkfloyd_contents: [floyd_sound_info, floyd_text_info],
+        doors_contents: [doors_gfx_info, doors_text_info],
+    };
+    (db, handles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use good_core::label::Label;
+
+    #[test]
+    fn instance_validates() {
+        let (db, _) = build_instance();
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn printable_dates_are_shared() {
+        // "The printable node with label Date and value Jan 12, 1990 is
+        // repeated seven times [in the figure]. In reality, only one
+        // such node appears."
+        let (db, _) = build_instance();
+        assert_eq!(db.label_count(&"Date".into()), 2); // Jan 12 and Jan 14
+        let jan12 = db
+            .find_printable(&"Date".into(), &Value::date(1990, 1, 12))
+            .unwrap();
+        // Many infos share it as created date.
+        assert!(db.sources(jan12, &Label::new("created")).count() >= 6);
+    }
+
+    #[test]
+    fn rock_versions_share_their_name_node() {
+        let (db, h) = build_instance();
+        let new_name = db.functional_target(h.rock_new, &"name".into()).unwrap();
+        let old_name = db.functional_target(h.rock_old, &"name".into()).unwrap();
+        assert_eq!(new_name, old_name);
+        assert_eq!(db.print_value(new_name), Some(&Value::str("Rock")));
+    }
+
+    #[test]
+    fn version_node_connects_old_and_new() {
+        let (db, h) = build_instance();
+        assert_eq!(
+            db.functional_target(h.version, &"new".into()),
+            Some(h.rock_new)
+        );
+        assert_eq!(
+            db.functional_target(h.version, &"old".into()),
+            Some(h.rock_old)
+        );
+        // Both versions preserve the Doors link.
+        assert!(db.has_edge(h.rock_new, &"links-to".into(), h.doors));
+        assert!(db.has_edge(h.rock_old, &"links-to".into(), h.doors));
+    }
+
+    #[test]
+    fn doors_has_no_comment() {
+        // "The info node with name The Doors has no comment associated
+        // with it. This is a convenient way to allow for incomplete
+        // information."
+        let (db, h) = build_instance();
+        assert!(db.functional_target(h.doors, &"comment".into()).is_none());
+        assert!(db
+            .functional_target(h.music_history, &"comment".into())
+            .is_some());
+    }
+
+    #[test]
+    fn beatles_reference_in_jazz() {
+        let (db, h) = build_instance();
+        assert_eq!(
+            db.functional_target(h.reference, &"isa".into()),
+            Some(h.beatles)
+        );
+        let containers: Vec<NodeId> = db.targets(h.reference, &"in".into()).collect();
+        assert_eq!(containers, vec![h.jazz]);
+    }
+
+    #[test]
+    fn figure3_content_chains() {
+        let (db, h) = build_instance();
+        // Pinkfloyd links to its two content infos.
+        for content in h.pinkfloyd_contents {
+            assert!(db.has_edge(h.pinkfloyd, &"links-to".into(), content));
+            // Each content info has a Data node isa-ing it.
+            assert_eq!(db.sources(content, &Label::new("isa")).count(), 1);
+        }
+        // One Sound node with frequency 1000.
+        let sound = db.nodes_with_label(&"Sound".into()).next().unwrap();
+        let freq = db.functional_target(sound, &"frequency".into()).unwrap();
+        assert_eq!(db.print_value(freq), Some(&Value::int(1000)));
+        // One Graphics node with width and height.
+        let gfx = db.nodes_with_label(&"Graphics".into()).next().unwrap();
+        assert!(db.functional_target(gfx, &"width".into()).is_some());
+        assert!(db.functional_target(gfx, &"height".into()).is_some());
+        // Two Text nodes.
+        assert_eq!(db.label_count(&"Text".into()), 2);
+    }
+
+    #[test]
+    fn comment_is_a_string() {
+        let (db, h) = build_instance();
+        let comment = db
+            .functional_target(h.music_history, &"comment".into())
+            .unwrap();
+        let text = db.functional_target(comment, &"is".into()).unwrap();
+        assert_eq!(db.print_value(text), Some(&Value::str("Author: Jones")));
+    }
+
+    #[test]
+    fn instance_is_deterministic() {
+        let (a, _) = build_instance();
+        let (b, _) = build_instance();
+        assert!(a.isomorphic_to(&b));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (db, _) = build_instance();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert!(back.isomorphic_to(&db));
+    }
+}

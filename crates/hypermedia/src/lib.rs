@@ -1,0 +1,27 @@
+//! `good-hypermedia` — the GOOD paper's running example.
+//!
+//! The paper develops a hyper-media object base throughout: Figure 1 is
+//! its scheme, Figures 2–3 an instance, and Figures 4–31 operations,
+//! methods and macros over it. This crate builds all of them as data and
+//! functions so the repository's `repro` binary and figure tests can
+//! regenerate and check every one.
+//!
+//! * [`scheme`] — the Figure 1 scheme;
+//! * [`instance`] — the Figures 2–3 instance (with named handles to the
+//!   marked nodes);
+//! * [`versions`] — the Figure 17 version-chain sub-instance used by the
+//!   abstraction example;
+//! * [`figures`] — one constructor per operation figure (4, 6, 8, 10,
+//!   12–14, 16, 18, 20–31).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod instance;
+pub mod scheme;
+pub mod versions;
+
+pub use instance::{build_instance, InstanceHandles};
+pub use scheme::build_scheme;
+pub use versions::build_versions_instance;

@@ -1,0 +1,164 @@
+//! The hyper-media object base scheme (Figure 1).
+//!
+//! Object classes: `Info`, `Version`, `Reference`, `Data`, `Comment`,
+//! `Sound`, `Text`, `Graphics`. Printable classes: `Date`, `String`,
+//! `Number`, `Longstring`, `Bitmap`, `Bitstream`.
+//!
+//! The `isa` edges (`Reference isa Info`, `Data isa Info`,
+//! `Sound/Text/Graphics isa Data`) are marked as subclass edges so the
+//! Section 4.2 inheritance machinery can use them; the paper attaches no
+//! special semantics to them until that section either.
+
+use good_core::scheme::{Scheme, SchemeBuilder};
+use good_core::value::ValueType;
+
+/// Build the Figure 1 scheme.
+pub fn build_scheme() -> Scheme {
+    SchemeBuilder::new()
+        // ---- classes -----------------------------------------------------
+        .object("Info")
+        .object("Version")
+        .object("Reference")
+        .object("Data")
+        .object("Comment")
+        .object("Sound")
+        .object("Text")
+        .object("Graphics")
+        // ---- printable classes --------------------------------------------
+        .printable("Date", ValueType::Date)
+        .printable("String", ValueType::Str)
+        .printable("Number", ValueType::Int)
+        .printable("Longstring", ValueType::Str)
+        .printable("Bitmap", ValueType::Bytes)
+        .printable("Bitstream", ValueType::Bytes)
+        // ---- Info ----------------------------------------------------------
+        .functional("Info", "created", "Date")
+        .functional("Info", "modified", "Date")
+        .functional("Info", "name", "String")
+        .functional("Info", "comment", "Comment")
+        .multivalued("Info", "links-to", "Info")
+        // ---- Comment: `is` either a String or a Number ---------------------
+        .functional("Comment", "is", "String")
+        .functional("Comment", "is", "Number")
+        // ---- Version --------------------------------------------------------
+        .functional("Version", "old", "Info")
+        .functional("Version", "new", "Info")
+        // ---- Reference -------------------------------------------------------
+        .subclass("Reference", "isa", "Info")
+        .multivalued("Reference", "in", "Info")
+        // ---- Data hierarchy ---------------------------------------------------
+        .subclass("Data", "isa", "Info")
+        .subclass("Sound", "isa", "Data")
+        .subclass("Text", "isa", "Data")
+        .subclass("Graphics", "isa", "Data")
+        // ---- Sound -------------------------------------------------------------
+        .functional("Sound", "frequency", "Number")
+        .functional("Sound", "data", "Bitstream")
+        // ---- Text ----------------------------------------------------------------
+        .functional("Text", "#chars", "Number")
+        .functional("Text", "#words", "Number")
+        .functional("Text", "data", "Longstring")
+        // ---- Graphics ---------------------------------------------------------------
+        .functional("Graphics", "width", "Number")
+        .functional("Graphics", "height", "Number")
+        .functional("Graphics", "data", "Bitmap")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use good_core::label::{EdgeKind, Label};
+
+    #[test]
+    fn scheme_validates() {
+        build_scheme().validate().unwrap();
+    }
+
+    #[test]
+    fn classes_and_printables_registered() {
+        let s = build_scheme();
+        for class in [
+            "Info",
+            "Version",
+            "Reference",
+            "Data",
+            "Comment",
+            "Sound",
+            "Text",
+            "Graphics",
+        ] {
+            assert!(s.is_object_label(&class.into()), "{class} missing");
+        }
+        for printable in [
+            "Date",
+            "String",
+            "Number",
+            "Longstring",
+            "Bitmap",
+            "Bitstream",
+        ] {
+            assert!(
+                s.is_printable_label(&printable.into()),
+                "{printable} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_kinds_match_figure1() {
+        let s = build_scheme();
+        for functional in [
+            "created", "modified", "name", "comment", "old", "new", "isa", "is",
+        ] {
+            assert_eq!(
+                s.edge_kind(&functional.into()),
+                Some(EdgeKind::Functional),
+                "{functional}"
+            );
+        }
+        for multivalued in ["links-to", "in"] {
+            assert_eq!(
+                s.edge_kind(&multivalued.into()),
+                Some(EdgeKind::Multivalued),
+                "{multivalued}"
+            );
+        }
+    }
+
+    #[test]
+    fn comment_targets_string_or_number() {
+        let s = build_scheme();
+        assert!(s.allows(&"Comment".into(), &"is".into(), &"String".into()));
+        assert!(s.allows(&"Comment".into(), &"is".into(), &"Number".into()));
+        assert!(!s.allows(&"Comment".into(), &"is".into(), &"Date".into()));
+    }
+
+    #[test]
+    fn data_label_is_overloaded_across_media() {
+        let s = build_scheme();
+        assert!(s.allows(&"Sound".into(), &"data".into(), &"Bitstream".into()));
+        assert!(s.allows(&"Text".into(), &"data".into(), &"Longstring".into()));
+        assert!(s.allows(&"Graphics".into(), &"data".into(), &"Bitmap".into()));
+        assert!(!s.allows(&"Sound".into(), &"data".into(), &"Bitmap".into()));
+    }
+
+    #[test]
+    fn isa_hierarchy_marked() {
+        let s = build_scheme();
+        let ancestors = s.ancestors_of(&Label::new("Sound"));
+        assert!(ancestors.contains(&Label::new("Data")));
+        assert!(ancestors.contains(&Label::new("Info")));
+        assert_eq!(
+            s.ancestors_of(&Label::new("Reference")),
+            vec![Label::new("Info")]
+        );
+    }
+
+    #[test]
+    fn dot_renders() {
+        let dot = build_scheme().to_dot("hyper-media scheme");
+        assert!(dot.contains("Info"));
+        assert!(dot.contains("shape=ellipse"));
+    }
+}

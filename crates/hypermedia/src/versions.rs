@@ -1,0 +1,89 @@
+//! The Figure 17 sub-instance: "a sequence of versions of related
+//! information".
+//!
+//! Four info documents form a version chain (three `Version` nodes link
+//! consecutive pairs via `old`/`new`). Each document links to some of
+//! four target documents; the first two share exactly the same link set,
+//! which is what the Figure 18 abstraction groups by.
+
+use crate::scheme::build_scheme;
+use good_core::instance::Instance;
+use good_graph::NodeId;
+
+/// Handles into the Figure 17 instance.
+#[derive(Debug, Clone)]
+pub struct VersionHandles {
+    /// The four versioned documents, oldest first.
+    pub documents: [NodeId; 4],
+    /// The three version nodes chaining them.
+    pub versions: [NodeId; 3],
+    /// The four target documents.
+    pub targets: [NodeId; 4],
+}
+
+/// Build the Figure 17 instance.
+pub fn build_versions_instance() -> (Instance, VersionHandles) {
+    let mut db = Instance::new(build_scheme());
+    let targets: [NodeId; 4] = std::array::from_fn(|_| db.add_object("Info").expect("Info"));
+    // documents[0] and documents[1] link to {t0, t1}; documents[2] to
+    // {t1, t2}; documents[3] to {t2, t3}.
+    let link_sets: [&[usize]; 4] = [&[0, 1], &[0, 1], &[1, 2], &[2, 3]];
+    let documents: [NodeId; 4] = std::array::from_fn(|index| {
+        let info = db.add_object("Info").expect("Info");
+        for &target in link_sets[index] {
+            db.add_edge(info, "links-to", targets[target])
+                .expect("link");
+        }
+        info
+    });
+    let versions: [NodeId; 3] = std::array::from_fn(|index| {
+        let version = db.add_object("Version").expect("Version");
+        db.add_edge(version, "old", documents[index]).expect("old");
+        db.add_edge(version, "new", documents[index + 1])
+            .expect("new");
+        version
+    });
+    (
+        db,
+        VersionHandles {
+            documents,
+            versions,
+            targets,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates() {
+        let (db, _) = build_versions_instance();
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn chain_structure() {
+        let (db, h) = build_versions_instance();
+        for (index, version) in h.versions.iter().enumerate() {
+            assert_eq!(
+                db.functional_target(*version, &"old".into()),
+                Some(h.documents[index])
+            );
+            assert_eq!(
+                db.functional_target(*version, &"new".into()),
+                Some(h.documents[index + 1])
+            );
+        }
+    }
+
+    #[test]
+    fn first_two_documents_share_link_sets() {
+        let (db, h) = build_versions_instance();
+        let links = |doc| db.target_set(doc, &"links-to".into());
+        assert_eq!(links(h.documents[0]), links(h.documents[1]));
+        assert_ne!(links(h.documents[1]), links(h.documents[2]));
+        assert_ne!(links(h.documents[2]), links(h.documents[3]));
+    }
+}

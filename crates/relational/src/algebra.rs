@@ -1,0 +1,567 @@
+//! The relational algebra, evaluated natively.
+//!
+//! This is the ground truth for the Section 4.3 completeness theorem:
+//! [`crate::compile`] translates the same expressions to GOOD programs,
+//! and the test suites check both evaluation routes agree.
+//!
+//! The operator set is Codd's: selection (conjunctions of
+//! attribute/attribute and attribute/constant equalities), projection,
+//! renaming, cartesian product, union, difference — plus natural join
+//! as a convenience (it is also compiled directly).
+
+use crate::relation::{RelDatabase, RelSchema, Relation, Tuple};
+use good_core::error::{GoodError, Result};
+use good_core::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A comparison operator for [`Predicate::AttrCmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the comparison.
+    pub fn holds(self, left: &Value, right: &Value) -> bool {
+        match self {
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+            CmpOp::Ne => left != right,
+        }
+    }
+}
+
+/// A selection predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `attr = constant`.
+    AttrEqConst(String, Value),
+    /// `attr <op> constant` — the range/comparison selections the paper
+    /// sanctions as "additional predicates on printable objects"
+    /// (Section 4.1); compiles to a pattern-node predicate.
+    AttrCmp(String, CmpOp, Value),
+    /// `attr1 = attr2`.
+    AttrEqAttr(String, String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Flatten into a list of atomic conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Predicate> {
+        match self {
+            Predicate::And(left, right) => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            atom => vec![atom],
+        }
+    }
+
+    fn eval(&self, schema: &RelSchema, tuple: &Tuple) -> Result<bool> {
+        match self {
+            Predicate::AttrEqConst(attr, value) => {
+                let pos = schema.position(attr).ok_or_else(|| {
+                    GoodError::InvariantViolation(format!("unknown attribute {attr}"))
+                })?;
+                Ok(&tuple[pos] == value)
+            }
+            Predicate::AttrCmp(attr, op, value) => {
+                let pos = schema.position(attr).ok_or_else(|| {
+                    GoodError::InvariantViolation(format!("unknown attribute {attr}"))
+                })?;
+                if tuple[pos].value_type() != value.value_type() {
+                    return Err(GoodError::InvariantViolation(format!(
+                        "comparison constant for {attr} has the wrong domain"
+                    )));
+                }
+                Ok(op.holds(&tuple[pos], value))
+            }
+            Predicate::AttrEqAttr(a, b) => {
+                let pa = schema.position(a).ok_or_else(|| {
+                    GoodError::InvariantViolation(format!("unknown attribute {a}"))
+                })?;
+                let pb = schema.position(b).ok_or_else(|| {
+                    GoodError::InvariantViolation(format!("unknown attribute {b}"))
+                })?;
+                Ok(tuple[pa] == tuple[pb])
+            }
+            Predicate::And(left, right) => {
+                Ok(left.eval(schema, tuple)? && right.eval(schema, tuple)?)
+            }
+        }
+    }
+}
+
+/// A relational algebra expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RelExpr {
+    /// A base relation by name.
+    Base(String),
+    /// Selection `σ_pred`.
+    Select(Predicate, Box<RelExpr>),
+    /// Projection `π_attrs` (with set-semantics duplicate elimination).
+    Project(Vec<String>, Box<RelExpr>),
+    /// Renaming `ρ_{old→new}`.
+    Rename(BTreeMap<String, String>, Box<RelExpr>),
+    /// Cartesian product (attribute sets must be disjoint).
+    Product(Box<RelExpr>, Box<RelExpr>),
+    /// Natural join.
+    Join(Box<RelExpr>, Box<RelExpr>),
+    /// Union (schemas must agree).
+    Union(Box<RelExpr>, Box<RelExpr>),
+    /// Difference (schemas must agree).
+    Difference(Box<RelExpr>, Box<RelExpr>),
+}
+
+impl RelExpr {
+    /// Convenience constructors.
+    pub fn base(name: impl Into<String>) -> Self {
+        RelExpr::Base(name.into())
+    }
+    /// `σ_pred(self)`.
+    pub fn select(self, pred: Predicate) -> Self {
+        RelExpr::Select(pred, Box::new(self))
+    }
+    /// `π_attrs(self)`.
+    pub fn project(self, attrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        RelExpr::Project(attrs.into_iter().map(Into::into).collect(), Box::new(self))
+    }
+    /// `ρ(self)`.
+    pub fn rename(
+        self,
+        map: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+    ) -> Self {
+        RelExpr::Rename(
+            map.into_iter()
+                .map(|(old, new)| (old.into(), new.into()))
+                .collect(),
+            Box::new(self),
+        )
+    }
+    /// `self × other`.
+    pub fn product(self, other: RelExpr) -> Self {
+        RelExpr::Product(Box::new(self), Box::new(other))
+    }
+    /// `self ⋈ other`.
+    pub fn join(self, other: RelExpr) -> Self {
+        RelExpr::Join(Box::new(self), Box::new(other))
+    }
+    /// `self ∪ other`.
+    pub fn union(self, other: RelExpr) -> Self {
+        RelExpr::Union(Box::new(self), Box::new(other))
+    }
+    /// `self − other`.
+    pub fn difference(self, other: RelExpr) -> Self {
+        RelExpr::Difference(Box::new(self), Box::new(other))
+    }
+    /// `self ∩ other` — derived: `l ∩ r = l − (l − r)`, so it costs
+    /// nothing extra in either evaluation route (native or compiled to
+    /// GOOD).
+    pub fn intersect(self, other: RelExpr) -> Self {
+        self.clone().difference(self.difference(other))
+    }
+    /// Relational division `self ÷ other` (Codd's derived operator):
+    /// the tuples over `self`'s non-`other` attributes that pair with
+    /// *every* tuple of `other`. Desugars to the classic
+    /// `π(l) − π((π(l) × r) − l)` form, so both evaluation routes get
+    /// it for free. `other`'s attributes must be a strict subset of
+    /// `self`'s (checked downstream by schema inference).
+    pub fn divide(self, other: RelExpr, quotient_attrs: &[&str]) -> Self {
+        let quotient = self.clone().project(quotient_attrs.iter().copied());
+        let all_pairs = quotient.clone().product(other);
+        let missing = all_pairs
+            .difference(self)
+            .project(quotient_attrs.iter().copied());
+        quotient.difference(missing)
+    }
+
+    /// Evaluate against `db`.
+    pub fn eval(&self, db: &RelDatabase) -> Result<Relation> {
+        match self {
+            RelExpr::Base(name) => Ok(db.get(name)?.clone()),
+            RelExpr::Select(pred, input) => {
+                let input = input.eval(db)?;
+                let mut out = Relation::new(input.schema().clone());
+                for tuple in input.tuples() {
+                    if pred.eval(input.schema(), tuple)? {
+                        out.insert(tuple.clone())?;
+                    }
+                }
+                Ok(out)
+            }
+            RelExpr::Project(attrs, input) => {
+                let input = input.eval(db)?;
+                let positions: Vec<usize> = attrs
+                    .iter()
+                    .map(|attr| {
+                        input.schema().position(attr).ok_or_else(|| {
+                            GoodError::InvariantViolation(format!("unknown attribute {attr}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let schema = RelSchema::new(
+                    positions
+                        .iter()
+                        .map(|&pos| input.schema().attrs()[pos].clone()),
+                );
+                let mut out = Relation::new(schema);
+                for tuple in input.tuples() {
+                    out.insert(positions.iter().map(|&pos| tuple[pos].clone()).collect())?;
+                }
+                Ok(out)
+            }
+            RelExpr::Rename(map, input) => {
+                let input = input.eval(db)?;
+                let schema = RelSchema::new(input.schema().attrs().iter().map(|(name, ty)| {
+                    (map.get(name).cloned().unwrap_or_else(|| name.clone()), *ty)
+                }));
+                let mut out = Relation::new(schema);
+                for tuple in input.tuples() {
+                    out.insert(tuple.clone())?;
+                }
+                Ok(out)
+            }
+            RelExpr::Product(left, right) => {
+                let (left, right) = (left.eval(db)?, right.eval(db)?);
+                if !left.schema().common_attrs(right.schema()).is_empty() {
+                    return Err(GoodError::InvariantViolation(
+                        "cartesian product requires disjoint attribute names".into(),
+                    ));
+                }
+                let schema = RelSchema::new(
+                    left.schema()
+                        .attrs()
+                        .iter()
+                        .chain(right.schema().attrs())
+                        .cloned(),
+                );
+                let mut out = Relation::new(schema);
+                for l in left.tuples() {
+                    for r in right.tuples() {
+                        out.insert(l.iter().chain(r.iter()).cloned().collect())?;
+                    }
+                }
+                Ok(out)
+            }
+            RelExpr::Join(left, right) => {
+                let (left, right) = (left.eval(db)?, right.eval(db)?);
+                let common = left.schema().common_attrs(right.schema());
+                for attr in &common {
+                    if left.schema().domain(attr) != right.schema().domain(attr) {
+                        return Err(GoodError::InvariantViolation(format!(
+                            "join attribute {attr} has different domains"
+                        )));
+                    }
+                }
+                let right_extra: Vec<(String, good_core::value::ValueType)> = right
+                    .schema()
+                    .attrs()
+                    .iter()
+                    .filter(|(name, _)| !common.contains(name))
+                    .cloned()
+                    .collect();
+                let schema = RelSchema::new(
+                    left.schema()
+                        .attrs()
+                        .iter()
+                        .cloned()
+                        .chain(right_extra.iter().cloned()),
+                );
+                let mut out = Relation::new(schema);
+                for l in left.tuples() {
+                    'rights: for r in right.tuples() {
+                        for attr in &common {
+                            if left.value(l, attr) != right.value(r, attr) {
+                                continue 'rights;
+                            }
+                        }
+                        let mut row = l.clone();
+                        for (name, _) in &right_extra {
+                            row.push(right.value(r, name).expect("attr exists").clone());
+                        }
+                        out.insert(row)?;
+                    }
+                }
+                Ok(out)
+            }
+            RelExpr::Union(left, right) => {
+                let (left, right) = (left.eval(db)?, right.eval(db)?);
+                if left.schema() != right.schema() {
+                    return Err(GoodError::InvariantViolation(
+                        "union requires identical schemas".into(),
+                    ));
+                }
+                let mut out = left.clone();
+                for tuple in right.tuples() {
+                    out.insert(tuple.clone())?;
+                }
+                Ok(out)
+            }
+            RelExpr::Difference(left, right) => {
+                let (left, right) = (left.eval(db)?, right.eval(db)?);
+                if left.schema() != right.schema() {
+                    return Err(GoodError::InvariantViolation(
+                        "difference requires identical schemas".into(),
+                    ));
+                }
+                let mut out = Relation::new(left.schema().clone());
+                for tuple in left.tuples() {
+                    if !right.contains(tuple) {
+                        out.insert(tuple.clone())?;
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use good_core::value::ValueType;
+
+    fn db() -> RelDatabase {
+        let mut emp = Relation::new(RelSchema::new([
+            ("name", ValueType::Str),
+            ("dept", ValueType::Str),
+        ]));
+        emp.extend([
+            vec![Value::str("ann"), Value::str("db")],
+            vec![Value::str("bob"), Value::str("os")],
+            vec![Value::str("cal"), Value::str("db")],
+        ])
+        .unwrap();
+        let mut dept = Relation::new(RelSchema::new([
+            ("dept", ValueType::Str),
+            ("floor", ValueType::Int),
+        ]));
+        dept.extend([
+            vec![Value::str("db"), Value::int(3)],
+            vec![Value::str("os"), Value::int(4)],
+        ])
+        .unwrap();
+        let mut managers = Relation::new(RelSchema::new([
+            ("name", ValueType::Str),
+            ("dept", ValueType::Str),
+        ]));
+        managers
+            .extend([vec![Value::str("ann"), Value::str("db")]])
+            .unwrap();
+        let mut out = RelDatabase::new();
+        out.add("emp", emp);
+        out.add("dept", dept);
+        out.add("managers", managers);
+        out
+    }
+
+    #[test]
+    fn select_const() {
+        let result = RelExpr::base("emp")
+            .select(Predicate::AttrEqConst("dept".into(), Value::str("db")))
+            .eval(&db())
+            .unwrap();
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn select_attr_eq_attr() {
+        let mut pairs = Relation::new(RelSchema::new([
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+        ]));
+        pairs
+            .extend([
+                vec![Value::int(1), Value::int(1)],
+                vec![Value::int(1), Value::int(2)],
+            ])
+            .unwrap();
+        let mut base = RelDatabase::new();
+        base.add("pairs", pairs);
+        let result = RelExpr::base("pairs")
+            .select(Predicate::AttrEqAttr("a".into(), "b".into()))
+            .eval(&base)
+            .unwrap();
+        assert_eq!(result.len(), 1);
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        let mut nums = Relation::new(RelSchema::new([("n", ValueType::Int)]));
+        nums.extend((0..6).map(|n| vec![Value::int(n)])).unwrap();
+        let mut base = RelDatabase::new();
+        base.add("nums", nums);
+        let range = Predicate::And(
+            Box::new(Predicate::AttrCmp("n".into(), CmpOp::Ge, Value::int(2))),
+            Box::new(Predicate::AttrCmp("n".into(), CmpOp::Lt, Value::int(5))),
+        );
+        let result = RelExpr::base("nums").select(range).eval(&base).unwrap();
+        assert_eq!(result.len(), 3); // 2, 3, 4
+        let ne = Predicate::AttrCmp("n".into(), CmpOp::Ne, Value::int(0));
+        let result = RelExpr::base("nums").select(ne).eval(&base).unwrap();
+        assert_eq!(result.len(), 5);
+        // Wrong domain is an error, not silently false.
+        let bad = Predicate::AttrCmp("n".into(), CmpOp::Lt, Value::str("x"));
+        assert!(RelExpr::base("nums").select(bad).eval(&base).is_err());
+    }
+
+    #[test]
+    fn conjunction() {
+        let pred = Predicate::And(
+            Box::new(Predicate::AttrEqConst("dept".into(), Value::str("db"))),
+            Box::new(Predicate::AttrEqConst("name".into(), Value::str("ann"))),
+        );
+        let result = RelExpr::base("emp")
+            .select(pred.clone())
+            .eval(&db())
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(pred.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn project_deduplicates() {
+        let result = RelExpr::base("emp").project(["dept"]).eval(&db()).unwrap();
+        assert_eq!(result.len(), 2); // db, os
+        assert_eq!(result.schema().arity(), 1);
+    }
+
+    #[test]
+    fn rename_changes_schema_only() {
+        let result = RelExpr::base("emp")
+            .rename([("name", "employee")])
+            .eval(&db())
+            .unwrap();
+        assert_eq!(result.schema().position("employee"), Some(0));
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn product_requires_disjoint_attrs() {
+        assert!(RelExpr::base("emp")
+            .product(RelExpr::base("emp"))
+            .eval(&db())
+            .is_err());
+        let renamed = RelExpr::base("emp").rename([("name", "n2"), ("dept", "d2")]);
+        let result = RelExpr::base("emp").product(renamed).eval(&db()).unwrap();
+        assert_eq!(result.len(), 9);
+        assert_eq!(result.schema().arity(), 4);
+    }
+
+    #[test]
+    fn natural_join() {
+        let result = RelExpr::base("emp")
+            .join(RelExpr::base("dept"))
+            .eval(&db())
+            .unwrap();
+        assert_eq!(result.len(), 3);
+        assert_eq!(result.schema().arity(), 3);
+        let ann = result
+            .tuples()
+            .find(|t| result.value(t, "name") == Some(&Value::str("ann")))
+            .unwrap();
+        assert_eq!(result.value(ann, "floor"), Some(&Value::int(3)));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let union = RelExpr::base("emp")
+            .union(RelExpr::base("managers"))
+            .eval(&db())
+            .unwrap();
+        assert_eq!(union.len(), 3); // ann already present
+        let diff = RelExpr::base("emp")
+            .difference(RelExpr::base("managers"))
+            .eval(&db())
+            .unwrap();
+        assert_eq!(diff.len(), 2);
+        assert!(!diff
+            .tuples()
+            .any(|t| diff.value(t, "name") == Some(&Value::str("ann"))));
+    }
+
+    #[test]
+    fn schema_mismatches_are_errors() {
+        assert!(RelExpr::base("emp")
+            .union(RelExpr::base("dept"))
+            .eval(&db())
+            .is_err());
+        assert!(RelExpr::base("emp")
+            .difference(RelExpr::base("dept"))
+            .eval(&db())
+            .is_err());
+        assert!(RelExpr::base("emp").project(["nope"]).eval(&db()).is_err());
+    }
+
+    #[test]
+    fn intersect_is_derived_correctly() {
+        let result = RelExpr::base("emp")
+            .intersect(RelExpr::base("managers"))
+            .eval(&db())
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuples().next().unwrap()[0], Value::str("ann"));
+    }
+
+    #[test]
+    fn division_finds_universal_pairings() {
+        // enrolled(student, course) ÷ required(course) = students
+        // enrolled in ALL required courses.
+        let mut enrolled = Relation::new(RelSchema::new([
+            ("student", ValueType::Str),
+            ("course", ValueType::Str),
+        ]));
+        enrolled
+            .extend([
+                vec![Value::str("ann"), Value::str("db")],
+                vec![Value::str("ann"), Value::str("os")],
+                vec![Value::str("bob"), Value::str("db")],
+                vec![Value::str("cal"), Value::str("os")],
+                vec![Value::str("cal"), Value::str("db")],
+                vec![Value::str("cal"), Value::str("pl")],
+            ])
+            .unwrap();
+        let mut required = Relation::new(RelSchema::new([("course", ValueType::Str)]));
+        required
+            .extend([vec![Value::str("db")], vec![Value::str("os")]])
+            .unwrap();
+        let mut base = RelDatabase::new();
+        base.add("enrolled", enrolled);
+        base.add("required", required);
+        let quotient = RelExpr::base("enrolled")
+            .divide(RelExpr::base("required"), &["student"])
+            .eval(&base)
+            .unwrap();
+        let names: Vec<&Value> = quotient.tuples().map(|t| &t[0]).collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&&Value::str("ann")) && names.contains(&&Value::str("cal")));
+    }
+
+    #[test]
+    fn composed_query() {
+        // Names of db employees on floor 3 who are not managers.
+        let expr = RelExpr::base("emp")
+            .join(RelExpr::base("dept"))
+            .select(Predicate::AttrEqConst("floor".into(), Value::int(3)))
+            .project(["name", "dept"])
+            .difference(RelExpr::base("managers"))
+            .project(["name"]);
+        let result = expr.eval(&db()).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuples().next().unwrap()[0], Value::str("cal"));
+    }
+}

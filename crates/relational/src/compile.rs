@@ -1,0 +1,803 @@
+//! The relational-completeness compiler (Section 4.3, theorem T1).
+//!
+//! Translates any [`RelExpr`] into a GOOD [`Program`] over the
+//! [`crate::encode`] representation. Each operator becomes one or two
+//! basic operations:
+//!
+//! | algebra | GOOD |
+//! |---|---|
+//! | base copy, `π`, `ρ` | one node addition |
+//! | `σ` (equalities) | one node addition over a constrained pattern |
+//! | `×`, `⋈` | one node addition over a two-object pattern |
+//! | `∪` | two node additions into the same class |
+//! | `−` | node addition + node deletion (the Figure 27 negation technique) |
+//!
+//! The emitted programs use **only node addition and node deletion** —
+//! comfortably inside the NA/EA/ND/ED fragment the theorem concerns.
+//! Set semantics falls out of node addition's existence check: tuple
+//! objects are deduplicated per distinct attribute-value vector because
+//! the bold edges point at shared printable nodes.
+
+use crate::algebra::{CmpOp, Predicate, RelExpr};
+use crate::encode::{class_label, domain_label};
+use crate::relation::{RelDatabase, RelSchema};
+use good_core::error::{GoodError, Result};
+use good_core::label::Label;
+use good_core::ops::{NodeAddition, NodeDeletion};
+use good_core::pattern::{Pattern, ValuePredicate};
+use good_core::program::{Operation, Program};
+use good_core::value::ValueType;
+use good_graph::NodeId;
+use std::collections::BTreeMap;
+
+/// The result of compiling an expression.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The GOOD program computing the query.
+    pub program: Program,
+    /// The class holding the result tuples after running the program.
+    pub class: Label,
+    /// The result schema (decode with this).
+    pub schema: RelSchema,
+}
+
+/// Infer the output schema of an expression against the database's
+/// relation schemas (mirrors `eval` without touching tuples).
+pub fn infer_schema(expr: &RelExpr, db: &RelDatabase) -> Result<RelSchema> {
+    match expr {
+        RelExpr::Base(name) => Ok(db.get(name)?.schema().clone()),
+        RelExpr::Select(_, input) => infer_schema(input, db),
+        RelExpr::Project(attrs, input) => {
+            let input = infer_schema(input, db)?;
+            let picked: Vec<(String, ValueType)> = attrs
+                .iter()
+                .map(|attr| {
+                    input
+                        .domain(attr)
+                        .map(|ty| (attr.clone(), ty))
+                        .ok_or_else(|| {
+                            GoodError::InvariantViolation(format!("unknown attribute {attr}"))
+                        })
+                })
+                .collect::<Result<_>>()?;
+            Ok(RelSchema::new(picked))
+        }
+        RelExpr::Rename(map, input) => {
+            let input = infer_schema(input, db)?;
+            Ok(RelSchema::new(input.attrs().iter().map(|(name, ty)| {
+                (map.get(name).cloned().unwrap_or_else(|| name.clone()), *ty)
+            })))
+        }
+        RelExpr::Product(left, right) => {
+            let (l, r) = (infer_schema(left, db)?, infer_schema(right, db)?);
+            if !l.common_attrs(&r).is_empty() {
+                return Err(GoodError::InvariantViolation(
+                    "cartesian product requires disjoint attribute names".into(),
+                ));
+            }
+            Ok(RelSchema::new(l.attrs().iter().chain(r.attrs()).cloned()))
+        }
+        RelExpr::Join(left, right) => {
+            let (l, r) = (infer_schema(left, db)?, infer_schema(right, db)?);
+            let common = l.common_attrs(&r);
+            for attr in &common {
+                if l.domain(attr) != r.domain(attr) {
+                    return Err(GoodError::InvariantViolation(format!(
+                        "join attribute {attr} has different domains"
+                    )));
+                }
+            }
+            let extra = r
+                .attrs()
+                .iter()
+                .filter(|(n, _)| !common.contains(n))
+                .cloned();
+            Ok(RelSchema::new(l.attrs().iter().cloned().chain(extra)))
+        }
+        RelExpr::Union(left, right) | RelExpr::Difference(left, right) => {
+            let (l, r) = (infer_schema(left, db)?, infer_schema(right, db)?);
+            if l != r {
+                return Err(GoodError::InvariantViolation(
+                    "union/difference require identical schemas".into(),
+                ));
+            }
+            Ok(l)
+        }
+    }
+}
+
+/// The compiler: a fresh-name source plus recursive translation.
+#[derive(Debug, Default)]
+pub struct Compiler {
+    counter: usize,
+}
+
+/// A pattern fragment describing one tuple object of `class` with
+/// printable nodes for the attributes in `schema`.
+struct TupleFragment {
+    object: NodeId,
+    /// attribute name → printable pattern node holding its value.
+    values: BTreeMap<String, NodeId>,
+}
+
+impl Compiler {
+    /// A new compiler.
+    pub fn new() -> Self {
+        Compiler::default()
+    }
+
+    fn fresh(&mut self, hint: &str) -> Label {
+        self.counter += 1;
+        Label::new(format!("Q{}-{hint}", self.counter))
+    }
+
+    /// Add a tuple-object fragment for `class`/`schema` to `pattern`.
+    /// `merge` lets callers share printable nodes across fragments (for
+    /// joins and attr=attr selections): attributes listed there reuse
+    /// the given pattern node.
+    fn add_fragment(
+        pattern: &mut Pattern,
+        class: &Label,
+        schema: &RelSchema,
+        merge: &BTreeMap<String, NodeId>,
+        constants: &BTreeMap<String, good_core::value::Value>,
+    ) -> TupleFragment {
+        let object = pattern.node(class.clone());
+        let mut values = BTreeMap::new();
+        for (attr, value_type) in schema.attrs() {
+            let node = if let Some(&existing) = merge.get(attr) {
+                existing
+            } else if let Some(constant) = constants.get(attr) {
+                pattern.printable(domain_label(*value_type), constant.clone())
+            } else {
+                pattern.node(domain_label(*value_type))
+            };
+            pattern.edge(object, attr.as_str(), node);
+            values.insert(attr.clone(), node);
+        }
+        TupleFragment { object, values }
+    }
+
+    /// The NA materializing `schema`-shaped tuples into `class`, with
+    /// bold edges to the given value nodes under (possibly renamed)
+    /// attribute labels.
+    fn materialize(
+        pattern: Pattern,
+        class: &Label,
+        attrs: impl IntoIterator<Item = (String, NodeId)>,
+    ) -> NodeAddition {
+        NodeAddition::new(
+            pattern,
+            class.clone(),
+            attrs
+                .into_iter()
+                .map(|(attr, node)| (Label::new(attr), node)),
+        )
+    }
+
+    /// Compile `expr` into a program over the [`crate::encode`]
+    /// representation of `db`.
+    pub fn compile(&mut self, expr: &RelExpr, db: &RelDatabase) -> Result<CompiledQuery> {
+        let schema = infer_schema(expr, db)?;
+        let mut program = Program::new();
+        let class = self.emit(expr, db, &mut program)?;
+        Ok(CompiledQuery {
+            program,
+            class,
+            schema,
+        })
+    }
+
+    /// Emit operations computing `expr` into a fresh class; returns the
+    /// class label.
+    fn emit(&mut self, expr: &RelExpr, db: &RelDatabase, program: &mut Program) -> Result<Label> {
+        match expr {
+            RelExpr::Base(name) => {
+                // Copy the base relation into a fresh class so downstream
+                // deletions (difference) never touch stored data.
+                let schema = db.get(name)?.schema().clone();
+                let class = self.fresh("base");
+                let mut pattern = Pattern::new();
+                let fragment = Self::add_fragment(
+                    &mut pattern,
+                    &class_label(name),
+                    &schema,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                );
+                program.push(Operation::NodeAdd(Self::materialize(
+                    pattern,
+                    &class,
+                    fragment.values,
+                )));
+                Ok(class)
+            }
+            RelExpr::Select(pred, input) => {
+                let input_schema = infer_schema(input, db)?;
+                let input_class = self.emit(input, db, program)?;
+                // Fold the conjuncts into merge/constant/predicate maps.
+                let mut constants = BTreeMap::new();
+                let mut comparisons: Vec<(String, CmpOp, good_core::value::Value)> = Vec::new();
+                let mut unify: Vec<(String, String)> = Vec::new();
+                for conjunct in pred.conjuncts() {
+                    match conjunct {
+                        Predicate::AttrEqConst(attr, value) => {
+                            if input_schema.domain(attr) != Some(value.value_type()) {
+                                return Err(GoodError::InvariantViolation(format!(
+                                    "selection constant for {attr} has the wrong domain"
+                                )));
+                            }
+                            constants.insert(attr.clone(), value.clone());
+                        }
+                        Predicate::AttrCmp(attr, op, value) => {
+                            if input_schema.domain(attr) != Some(value.value_type()) {
+                                return Err(GoodError::InvariantViolation(format!(
+                                    "comparison constant for {attr} has the wrong domain"
+                                )));
+                            }
+                            comparisons.push((attr.clone(), *op, value.clone()));
+                        }
+                        Predicate::AttrEqAttr(a, b) => {
+                            if input_schema.domain(a).is_none()
+                                || input_schema.domain(a) != input_schema.domain(b)
+                            {
+                                return Err(GoodError::InvariantViolation(format!(
+                                    "cannot equate attributes {a} and {b}"
+                                )));
+                            }
+                            unify.push((a.clone(), b.clone()));
+                        }
+                        Predicate::And(..) => unreachable!("conjuncts() flattens"),
+                    }
+                }
+                let class = self.fresh("select");
+                let mut pattern = Pattern::new();
+                // Build the fragment, then post-unify attr=attr pairs by
+                // constructing the merge map incrementally: create nodes
+                // for the first attr of each union-find class.
+                let mut merge: BTreeMap<String, NodeId> = BTreeMap::new();
+                // Union-find-lite: map each attribute to a representative.
+                let mut rep: BTreeMap<String, String> = BTreeMap::new();
+                let find = |rep: &BTreeMap<String, String>, mut a: String| {
+                    while let Some(next) = rep.get(&a) {
+                        a = next.clone();
+                    }
+                    a
+                };
+                for (a, b) in &unify {
+                    let (ra, rb) = (find(&rep, a.clone()), find(&rep, b.clone()));
+                    if ra != rb {
+                        rep.insert(rb, ra);
+                    }
+                }
+                // Propagate constants to class representatives. Two
+                // *different* constants on one equivalence class make
+                // the selection unsatisfiable.
+                let mut rep_constants: BTreeMap<String, good_core::value::Value> = BTreeMap::new();
+                let mut unsatisfiable = false;
+                for (attr, value) in &constants {
+                    let representative = find(&rep, attr.clone());
+                    match rep_constants.get(&representative) {
+                        Some(existing) if existing != value => unsatisfiable = true,
+                        _ => {
+                            rep_constants.insert(representative, value.clone());
+                        }
+                    }
+                }
+                // Comparisons become pattern-node predicates on the
+                // class representative (Section 4.1's printable
+                // predicates). Against a representative that also has a
+                // constant, evaluate at compile time.
+                let to_value_predicate = |op: CmpOp, value: good_core::value::Value| match op {
+                    CmpOp::Lt => ValuePredicate::Lt(value),
+                    CmpOp::Le => ValuePredicate::Le(value),
+                    CmpOp::Gt => ValuePredicate::Gt(value),
+                    CmpOp::Ge => ValuePredicate::Ge(value),
+                    CmpOp::Ne => ValuePredicate::Ne(value),
+                };
+                let mut rep_predicates: BTreeMap<String, Vec<ValuePredicate>> = BTreeMap::new();
+                for (attr, op, value) in comparisons {
+                    let representative = find(&rep, attr);
+                    match rep_constants.get(&representative) {
+                        Some(constant) => {
+                            if !op.holds(constant, &value) {
+                                unsatisfiable = true;
+                            }
+                        }
+                        None => rep_predicates
+                            .entry(representative)
+                            .or_default()
+                            .push(to_value_predicate(op, value)),
+                    }
+                }
+                if unsatisfiable {
+                    // Emit an always-empty class: copy nothing (NA over
+                    // the input class), then delete everything in it.
+                    let mut copy = Pattern::new();
+                    let fragment = Self::add_fragment(
+                        &mut copy,
+                        &input_class,
+                        &input_schema,
+                        &BTreeMap::new(),
+                        &BTreeMap::new(),
+                    );
+                    program.push(Operation::NodeAdd(Self::materialize(
+                        copy,
+                        &class,
+                        fragment.values,
+                    )));
+                    let mut wipe = Pattern::new();
+                    let target = wipe.node(class.clone());
+                    program.push(Operation::NodeDel(NodeDeletion::new(wipe, target)));
+                    return Ok(class);
+                }
+                // Create one pattern node per representative; point the
+                // merge map of every attribute at its representative's
+                // node.
+                for (attr, value_type) in input_schema.attrs() {
+                    let representative = find(&rep, attr.clone());
+                    let node = if let Some(&existing) = merge.get(&representative) {
+                        existing
+                    } else {
+                        let node = if let Some(constant) = rep_constants.get(&representative) {
+                            pattern.printable(domain_label(*value_type), constant.clone())
+                        } else if let Some(predicates) = rep_predicates.get(&representative) {
+                            let predicate = if predicates.len() == 1 {
+                                predicates[0].clone()
+                            } else {
+                                ValuePredicate::All(predicates.clone())
+                            };
+                            pattern.predicate_node(domain_label(*value_type), predicate)
+                        } else {
+                            pattern.node(domain_label(*value_type))
+                        };
+                        merge.insert(representative.clone(), node);
+                        node
+                    };
+                    merge.insert(attr.clone(), node);
+                }
+                let fragment = Self::add_fragment(
+                    &mut pattern,
+                    &input_class,
+                    &input_schema,
+                    &merge,
+                    &constants,
+                );
+                program.push(Operation::NodeAdd(Self::materialize(
+                    pattern,
+                    &class,
+                    fragment.values,
+                )));
+                Ok(class)
+            }
+            RelExpr::Project(attrs, input) => {
+                let input_schema = infer_schema(input, db)?;
+                let input_class = self.emit(input, db, program)?;
+                let class = self.fresh("project");
+                let mut pattern = Pattern::new();
+                // Only the projected attributes appear in the pattern —
+                // incomplete information is fine in GOOD, and matching
+                // only the needed edges is exactly projection.
+                let projected = RelSchema::new(
+                    attrs
+                        .iter()
+                        .map(|attr| (attr.clone(), input_schema.domain(attr).expect("inferred"))),
+                );
+                let fragment = Self::add_fragment(
+                    &mut pattern,
+                    &input_class,
+                    &projected,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                );
+                program.push(Operation::NodeAdd(Self::materialize(
+                    pattern,
+                    &class,
+                    fragment.values,
+                )));
+                Ok(class)
+            }
+            RelExpr::Rename(map, input) => {
+                let input_schema = infer_schema(input, db)?;
+                let input_class = self.emit(input, db, program)?;
+                let class = self.fresh("rename");
+                let mut pattern = Pattern::new();
+                let fragment = Self::add_fragment(
+                    &mut pattern,
+                    &input_class,
+                    &input_schema,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                );
+                let renamed = fragment
+                    .values
+                    .into_iter()
+                    .map(|(attr, node)| (map.get(&attr).cloned().unwrap_or(attr), node));
+                program.push(Operation::NodeAdd(Self::materialize(
+                    pattern, &class, renamed,
+                )));
+                Ok(class)
+            }
+            RelExpr::Product(left, right) => {
+                let (ls, rs) = (infer_schema(left, db)?, infer_schema(right, db)?);
+                if !ls.common_attrs(&rs).is_empty() {
+                    return Err(GoodError::InvariantViolation(
+                        "cartesian product requires disjoint attribute names".into(),
+                    ));
+                }
+                let left_class = self.emit(left, db, program)?;
+                let right_class = self.emit(right, db, program)?;
+                let class = self.fresh("product");
+                let mut pattern = Pattern::new();
+                let lfrag = Self::add_fragment(
+                    &mut pattern,
+                    &left_class,
+                    &ls,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                );
+                let rfrag = Self::add_fragment(
+                    &mut pattern,
+                    &right_class,
+                    &rs,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                );
+                let attrs = lfrag.values.into_iter().chain(rfrag.values);
+                program.push(Operation::NodeAdd(Self::materialize(
+                    pattern, &class, attrs,
+                )));
+                Ok(class)
+            }
+            RelExpr::Join(left, right) => {
+                let (ls, rs) = (infer_schema(left, db)?, infer_schema(right, db)?);
+                let common = ls.common_attrs(&rs);
+                let left_class = self.emit(left, db, program)?;
+                let right_class = self.emit(right, db, program)?;
+                let class = self.fresh("join");
+                let mut pattern = Pattern::new();
+                let lfrag = Self::add_fragment(
+                    &mut pattern,
+                    &left_class,
+                    &ls,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                );
+                // The right fragment reuses the left's printable nodes
+                // for the shared attributes — that IS the join.
+                let merge: BTreeMap<String, NodeId> = common
+                    .iter()
+                    .map(|attr| (attr.clone(), lfrag.values[attr]))
+                    .collect();
+                let rfrag =
+                    Self::add_fragment(&mut pattern, &right_class, &rs, &merge, &BTreeMap::new());
+                let attrs = lfrag.values.clone().into_iter().chain(
+                    rfrag
+                        .values
+                        .into_iter()
+                        .filter(|(attr, _)| !common.contains(attr)),
+                );
+                program.push(Operation::NodeAdd(Self::materialize(
+                    pattern, &class, attrs,
+                )));
+                Ok(class)
+            }
+            RelExpr::Union(left, right) => {
+                let schema = infer_schema(expr, db)?;
+                let left_class = self.emit(left, db, program)?;
+                let right_class = self.emit(right, db, program)?;
+                let class = self.fresh("union");
+                for input in [left_class, right_class] {
+                    let mut pattern = Pattern::new();
+                    let fragment = Self::add_fragment(
+                        &mut pattern,
+                        &input,
+                        &schema,
+                        &BTreeMap::new(),
+                        &BTreeMap::new(),
+                    );
+                    // Node addition's existence check deduplicates the
+                    // overlap between the two inputs.
+                    program.push(Operation::NodeAdd(Self::materialize(
+                        pattern,
+                        &class,
+                        fragment.values,
+                    )));
+                }
+                Ok(class)
+            }
+            RelExpr::Difference(left, right) => {
+                let schema = infer_schema(expr, db)?;
+                let left_class = self.emit(left, db, program)?;
+                let right_class = self.emit(right, db, program)?;
+                let class = self.fresh("difference");
+                // Step 1 (NA): copy the left side.
+                let mut copy = Pattern::new();
+                let fragment = Self::add_fragment(
+                    &mut copy,
+                    &left_class,
+                    &schema,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                );
+                program.push(Operation::NodeAdd(Self::materialize(
+                    copy,
+                    &class,
+                    fragment.values.clone(),
+                )));
+                // Step 2 (ND): delete result tuples that also appear on
+                // the right — Figure 27's "delete the intermediates
+                // whose matching can be enlarged".
+                let mut doomed = Pattern::new();
+                let result_frag = Self::add_fragment(
+                    &mut doomed,
+                    &class,
+                    &schema,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                );
+                let merge: BTreeMap<String, NodeId> = result_frag.values.clone();
+                let _witness = Self::add_fragment(
+                    &mut doomed,
+                    &right_class,
+                    &schema,
+                    &merge,
+                    &BTreeMap::new(),
+                );
+                program.push(Operation::NodeDel(NodeDeletion::new(
+                    doomed,
+                    result_frag.object,
+                )));
+                Ok(class)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{decode, encode};
+    use crate::relation::Relation;
+    use good_core::program::Env;
+    use good_core::value::Value;
+
+    fn db() -> RelDatabase {
+        let mut emp = Relation::new(RelSchema::new([
+            ("name", ValueType::Str),
+            ("dept", ValueType::Str),
+        ]));
+        emp.extend([
+            vec![Value::str("ann"), Value::str("db")],
+            vec![Value::str("bob"), Value::str("os")],
+            vec![Value::str("cal"), Value::str("db")],
+        ])
+        .unwrap();
+        let mut dept = Relation::new(RelSchema::new([
+            ("dept", ValueType::Str),
+            ("head", ValueType::Str),
+        ]));
+        dept.extend([
+            vec![Value::str("db"), Value::str("ann")],
+            vec![Value::str("os"), Value::str("bob")],
+        ])
+        .unwrap();
+        let mut managers = Relation::new(RelSchema::new([
+            ("name", ValueType::Str),
+            ("dept", ValueType::Str),
+        ]));
+        managers
+            .extend([vec![Value::str("ann"), Value::str("db")]])
+            .unwrap();
+        let mut out = RelDatabase::new();
+        out.add("emp", emp);
+        out.add("dept", dept);
+        out.add("managers", managers);
+        out
+    }
+
+    /// Compile + run + decode, and compare against native evaluation.
+    fn check(expr: RelExpr) {
+        let base = db();
+        let expected = expr.eval(&base).unwrap();
+        let mut instance = encode(&base).unwrap();
+        let compiled = Compiler::new().compile(&expr, &base).unwrap();
+        compiled
+            .program
+            .apply(&mut instance, &mut Env::new())
+            .unwrap();
+        instance.validate().unwrap();
+        let actual = decode(&instance, &compiled.class, &compiled.schema).unwrap();
+        assert_eq!(actual, expected, "GOOD simulation disagrees for {expr:?}");
+    }
+
+    #[test]
+    fn base_copy() {
+        check(RelExpr::base("emp"));
+    }
+
+    #[test]
+    fn select_const() {
+        check(RelExpr::base("emp").select(Predicate::AttrEqConst("dept".into(), Value::str("db"))));
+    }
+
+    #[test]
+    fn select_attr_eq_attr() {
+        // dept.head = dept.dept is empty here; use emp×renamed variant:
+        check(RelExpr::base("dept").select(Predicate::AttrEqAttr("dept".into(), "head".into())));
+    }
+
+    #[test]
+    fn select_conjunction() {
+        check(RelExpr::base("emp").select(Predicate::And(
+            Box::new(Predicate::AttrEqConst("dept".into(), Value::str("db"))),
+            Box::new(Predicate::AttrEqConst("name".into(), Value::str("cal"))),
+        )));
+    }
+
+    #[test]
+    fn project_deduplicates() {
+        check(RelExpr::base("emp").project(["dept"]));
+    }
+
+    #[test]
+    fn rename() {
+        check(RelExpr::base("emp").rename([("name", "employee")]));
+    }
+
+    #[test]
+    fn product() {
+        let renamed = RelExpr::base("emp").rename([("name", "n2"), ("dept", "d2")]);
+        check(RelExpr::base("emp").product(renamed));
+    }
+
+    #[test]
+    fn natural_join() {
+        check(RelExpr::base("emp").join(RelExpr::base("dept")));
+    }
+
+    #[test]
+    fn union() {
+        check(RelExpr::base("emp").union(RelExpr::base("managers")));
+    }
+
+    #[test]
+    fn difference() {
+        check(RelExpr::base("emp").difference(RelExpr::base("managers")));
+    }
+
+    #[test]
+    fn composed_query() {
+        let expr = RelExpr::base("emp")
+            .join(RelExpr::base("dept"))
+            .select(Predicate::AttrEqConst("head".into(), Value::str("ann")))
+            .project(["name"])
+            .difference(RelExpr::base("managers").project(["name"]));
+        check(expr);
+    }
+
+    #[test]
+    fn intersect_and_divide_compile_via_their_desugarings() {
+        check(RelExpr::base("emp").intersect(RelExpr::base("managers")));
+
+        let mut enrolled = Relation::new(RelSchema::new([
+            ("student", ValueType::Str),
+            ("course", ValueType::Str),
+        ]));
+        enrolled
+            .extend([
+                vec![Value::str("ann"), Value::str("db")],
+                vec![Value::str("ann"), Value::str("os")],
+                vec![Value::str("bob"), Value::str("db")],
+            ])
+            .unwrap();
+        let mut required = Relation::new(RelSchema::new([("course", ValueType::Str)]));
+        required
+            .extend([vec![Value::str("db")], vec![Value::str("os")]])
+            .unwrap();
+        let mut base = RelDatabase::new();
+        base.add("enrolled", enrolled);
+        base.add("required", required);
+        let expr = RelExpr::base("enrolled").divide(RelExpr::base("required"), &["student"]);
+        let expected = expr.eval(&base).unwrap();
+        let mut instance = encode(&base).unwrap();
+        let compiled = Compiler::new().compile(&expr, &base).unwrap();
+        compiled
+            .program
+            .apply(&mut instance, &mut Env::new())
+            .unwrap();
+        let actual = decode(&instance, &compiled.class, &compiled.schema).unwrap();
+        assert_eq!(actual, expected);
+        assert_eq!(actual.len(), 1); // only ann took everything required
+    }
+
+    #[test]
+    fn comparison_selections_compile_via_predicates() {
+        use crate::algebra::CmpOp;
+        let mut nums = Relation::new(RelSchema::new([
+            ("n", ValueType::Int),
+            ("tag", ValueType::Str),
+        ]));
+        for n in 0..8 {
+            nums.insert(vec![
+                Value::int(n),
+                Value::str(if n % 2 == 0 { "even" } else { "odd" }),
+            ])
+            .unwrap();
+        }
+        let mut base = RelDatabase::new();
+        base.add("nums", nums);
+
+        for expr in [
+            RelExpr::base("nums").select(Predicate::AttrCmp("n".into(), CmpOp::Ge, Value::int(3))),
+            RelExpr::base("nums").select(Predicate::And(
+                Box::new(Predicate::AttrCmp("n".into(), CmpOp::Gt, Value::int(1))),
+                Box::new(Predicate::AttrCmp("n".into(), CmpOp::Le, Value::int(5))),
+            )),
+            RelExpr::base("nums").select(Predicate::And(
+                Box::new(Predicate::AttrEqConst("tag".into(), Value::str("even"))),
+                Box::new(Predicate::AttrCmp("n".into(), CmpOp::Ne, Value::int(2))),
+            )),
+        ] {
+            let expected = expr.eval(&base).unwrap();
+            let mut instance = encode(&base).unwrap();
+            let compiled = Compiler::new().compile(&expr, &base).unwrap();
+            compiled
+                .program
+                .apply(&mut instance, &mut Env::new())
+                .unwrap();
+            let actual = decode(&instance, &compiled.class, &compiled.schema).unwrap();
+            assert_eq!(actual, expected, "for {expr:?}");
+        }
+    }
+
+    #[test]
+    fn comparison_against_unified_constant_folds_at_compile_time() {
+        use crate::algebra::CmpOp;
+        // dept = "db" AND dept > "zz" is unsatisfiable and must compile
+        // to an empty class (constant folded against the comparison).
+        let expr = RelExpr::base("emp").select(Predicate::And(
+            Box::new(Predicate::AttrEqConst("dept".into(), Value::str("db"))),
+            Box::new(Predicate::AttrCmp(
+                "dept".into(),
+                CmpOp::Gt,
+                Value::str("zz"),
+            )),
+        ));
+        check(expr);
+        // ... and the satisfiable variant keeps the rows.
+        let expr = RelExpr::base("emp").select(Predicate::And(
+            Box::new(Predicate::AttrEqConst("dept".into(), Value::str("db"))),
+            Box::new(Predicate::AttrCmp(
+                "dept".into(),
+                CmpOp::Gt,
+                Value::str("aa"),
+            )),
+        ));
+        check(expr);
+    }
+
+    #[test]
+    fn emitted_programs_use_only_na_and_nd() {
+        let expr = RelExpr::base("emp")
+            .join(RelExpr::base("dept"))
+            .difference(RelExpr::base("managers").join(RelExpr::base("dept")));
+        let compiled = Compiler::new().compile(&expr, &db()).unwrap();
+        for op in compiled.program.ops() {
+            assert!(
+                matches!(op.mnemonic(), "NA" | "ND"),
+                "unexpected operation {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_errors_surface_at_compile_time() {
+        let bad = RelExpr::base("emp").union(RelExpr::base("dept"));
+        assert!(Compiler::new().compile(&bad, &db()).is_err());
+        let bad = RelExpr::base("emp").product(RelExpr::base("emp"));
+        assert!(Compiler::new().compile(&bad, &db()).is_err());
+        let bad = RelExpr::base("emp").select(Predicate::AttrEqConst("dept".into(), Value::int(3)));
+        assert!(Compiler::new().compile(&bad, &db()).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Encoding relations as GOOD object bases (Section 4.3).
+//!
+//! "Suppose we represent a relation R with attributes A1, A2, A3 with
+//! domains D1, D2, D3 as a class R with functional edges labeled A1,
+//! A2, A3 to printable classes D1, D2, D3. Tuples of R are represented
+//! by objects of this class."
+//!
+//! The printable domain classes are one per [`ValueType`]; printable
+//! dedup in the instance layer makes the encoding value-based, which is
+//! exactly what lets node addition's existence check implement set
+//! semantics.
+
+use crate::relation::{RelDatabase, RelSchema, Relation};
+use good_core::error::{GoodError, Result};
+use good_core::instance::Instance;
+use good_core::label::Label;
+use good_core::scheme::Scheme;
+use good_core::value::ValueType;
+use good_graph::NodeId;
+
+/// The object-class label for a relation name.
+///
+/// Classes are namespaced `rel:<name>` so that a relation may share its
+/// name with an attribute (the GOOD label universes are pairwise
+/// disjoint, so `dept` cannot be both an object label and a functional
+/// edge label).
+pub fn class_label(name: &str) -> Label {
+    Label::new(format!("rel:{name}"))
+}
+
+/// The printable class name for a value domain.
+pub fn domain_label(value_type: ValueType) -> Label {
+    Label::new(match value_type {
+        ValueType::Str => "D-str",
+        ValueType::Int => "D-int",
+        ValueType::Real => "D-real",
+        ValueType::Bool => "D-bool",
+        ValueType::Date => "D-date",
+        ValueType::Bytes => "D-bytes",
+    })
+}
+
+/// Build the GOOD scheme for a relational database.
+pub fn encode_scheme(db: &RelDatabase) -> Result<Scheme> {
+    let mut scheme = Scheme::new();
+    for value_type in [
+        ValueType::Str,
+        ValueType::Int,
+        ValueType::Real,
+        ValueType::Bool,
+        ValueType::Date,
+        ValueType::Bytes,
+    ] {
+        scheme.add_printable_label(domain_label(value_type), value_type)?;
+    }
+    for (name, relation) in db.iter() {
+        let class = class_label(name);
+        scheme.add_object_label(class.clone())?;
+        for (attr, value_type) in relation.schema().attrs() {
+            scheme.add_functional(class.clone(), attr.as_str(), domain_label(*value_type))?;
+        }
+    }
+    Ok(scheme)
+}
+
+/// Encode a relational database as a GOOD instance.
+pub fn encode(db: &RelDatabase) -> Result<Instance> {
+    let mut instance = Instance::new(encode_scheme(db)?);
+    for (name, relation) in db.iter() {
+        for tuple in relation.tuples() {
+            let object = instance.add_object(class_label(name))?;
+            for (value, (attr, value_type)) in tuple.iter().zip(relation.schema().attrs()) {
+                let printable = instance.add_printable(domain_label(*value_type), value.clone())?;
+                instance.add_edge(object, attr.as_str(), printable)?;
+            }
+        }
+    }
+    Ok(instance)
+}
+
+/// Read a relation back out of an instance: the objects of `class`,
+/// interpreted under `schema`. Objects lacking some attribute are an
+/// error (tuple objects are always complete).
+pub fn decode(instance: &Instance, class: &Label, schema: &RelSchema) -> Result<Relation> {
+    let mut out = Relation::new(schema.clone());
+    for object in instance.nodes_with_label(class) {
+        let mut tuple = Vec::with_capacity(schema.arity());
+        for (attr, _) in schema.attrs() {
+            let target = instance
+                .functional_target(object, &Label::new(attr.as_str()))
+                .ok_or_else(|| {
+                    GoodError::InvariantViolation(format!(
+                        "tuple object {object:?} of class {class} lacks attribute {attr}"
+                    ))
+                })?;
+            let value = instance.print_value(target).ok_or_else(|| {
+                GoodError::InvariantViolation(format!(
+                    "attribute {attr} of {object:?} does not point at a printable"
+                ))
+            })?;
+            tuple.push(value.clone());
+        }
+        out.insert(tuple)?;
+    }
+    Ok(out)
+}
+
+/// The tuple object in `instance` whose attribute values equal `tuple`
+/// (used by tests).
+pub fn find_tuple_object(
+    instance: &Instance,
+    class: &Label,
+    schema: &RelSchema,
+    tuple: &[good_core::value::Value],
+) -> Option<NodeId> {
+    instance.nodes_with_label(class).find(|object| {
+        schema
+            .attrs()
+            .iter()
+            .zip(tuple)
+            .all(|((attr, value_type), value)| {
+                instance
+                    .functional_target(*object, &Label::new(attr.as_str()))
+                    .is_some_and(|target| {
+                        instance.print_value(target) == Some(value)
+                            && value.value_type() == *value_type
+                    })
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use good_core::value::Value;
+
+    fn db() -> RelDatabase {
+        let mut emp = Relation::new(RelSchema::new([
+            ("name", ValueType::Str),
+            ("salary", ValueType::Int),
+        ]));
+        emp.extend([
+            vec![Value::str("ann"), Value::int(90)],
+            vec![Value::str("bob"), Value::int(90)],
+        ])
+        .unwrap();
+        let mut out = RelDatabase::new();
+        out.add("emp", emp);
+        out
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let source = db();
+        let instance = encode(&source).unwrap();
+        instance.validate().unwrap();
+        let back = decode(
+            &instance,
+            &class_label("emp"),
+            source.get("emp").unwrap().schema(),
+        )
+        .unwrap();
+        assert_eq!(&back, source.get("emp").unwrap());
+    }
+
+    #[test]
+    fn shared_values_share_printables() {
+        let instance = encode(&db()).unwrap();
+        // Both tuples have salary 90 → one D-int node.
+        assert_eq!(instance.label_count(&domain_label(ValueType::Int)), 1);
+        assert_eq!(instance.label_count(&class_label("emp")), 2);
+    }
+
+    #[test]
+    fn find_tuple_object_locates_rows() {
+        let source = db();
+        let instance = encode(&source).unwrap();
+        let schema = source.get("emp").unwrap().schema();
+        assert!(find_tuple_object(
+            &instance,
+            &class_label("emp"),
+            schema,
+            &[Value::str("ann"), Value::int(90)]
+        )
+        .is_some());
+        assert!(find_tuple_object(
+            &instance,
+            &class_label("emp"),
+            schema,
+            &[Value::str("ann"), Value::int(91)]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn decode_rejects_incomplete_objects() {
+        let source = db();
+        let mut instance = encode(&source).unwrap();
+        instance.add_object(class_label("emp")).unwrap(); // attribute-less object
+        assert!(decode(
+            &instance,
+            &class_label("emp"),
+            source.get("emp").unwrap().schema()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_database_encodes() {
+        let instance = encode(&RelDatabase::new()).unwrap();
+        assert_eq!(instance.node_count(), 0);
+    }
+}

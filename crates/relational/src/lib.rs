@@ -1,0 +1,45 @@
+//! `good-relational` — the relational substrate of the GOOD
+//! reproduction, and the Section 4.3 completeness results.
+//!
+//! The paper claims (Section 4.3):
+//!
+//! 1. restricted to node/edge additions and deletions, GOOD is
+//!    *relationally complete* in Codd's sense — "every relation
+//!    computable in the relational algebra is also computable in the
+//!    restricted GOOD language";
+//! 2. adding abstraction, GOOD simulates the *nested relational
+//!    algebra*, with abstraction providing faithful (duplicate-free)
+//!    relation-valued attributes.
+//!
+//! The paper leaves "the details of the simulation to the reader"; this
+//! crate is that reader's homework, machine-checked:
+//!
+//! * [`relation`] — relations, schemas, typed tuples;
+//! * [`algebra`] — a from-scratch relational algebra evaluator
+//!   (selection, projection, renaming, product, natural join, union,
+//!   difference);
+//! * [`encode`] — the paper's representation: "a relation R with
+//!   attributes A1, A2, A3 ... as a class R with functional edges
+//!   labeled A1, A2, A3 to printable classes";
+//! * [`compile`] — a compiler from algebra expressions to GOOD programs
+//!   (difference uses the Figure 27 negation technique, so the emitted
+//!   program uses nothing but NA/ND/EA/ED);
+//! * [`nested`] — nest/unnest with abstraction-backed duplicate
+//!   elimination of relation-valued attributes;
+//! * [`backend`] — the Section 5 implementation strategy: a GOOD
+//!   instance stored as relations (one table per class, binary tables
+//!   for multivalued edges) with pattern matching evaluated as a join
+//!   plan, differentially testable against the native matcher.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod backend;
+pub mod compile;
+pub mod encode;
+pub mod nested;
+pub mod relation;
+
+pub use algebra::{Predicate, RelExpr};
+pub use relation::{RelDatabase, RelSchema, Relation, Tuple};

@@ -1,0 +1,407 @@
+//! Nested relations and their GOOD simulation (Section 4.3, theorem
+//! T2).
+//!
+//! "By adding abstraction, one can moreover simulate the nested
+//! relational algebra. Nested relations are represented in an analogous
+//! manner as standard relations, now using also multivalued edges. The
+//! abstraction operation is needed in this case to obtain *faithful*
+//! simulations of relation-valued attributes, meaning that duplicate
+//! relations can be eliminated."
+//!
+//! We implement one level of nesting (`nest` / `unnest` — the
+//! generators of the nested algebra over the flat one, per Schek &
+//! Scholl, paper reference 28) natively, plus the GOOD-side simulation:
+//!
+//! * tuple objects keep their *key* attributes as functional edges;
+//! * the nested component becomes element objects reachable through a
+//!   multivalued `elem` edge;
+//! * an [`Abstraction`] groups tuple objects by the equality of their
+//!   element sets, producing exactly one set-representative per
+//!   distinct relation value — the paper's duplicate elimination.
+
+use crate::relation::{RelSchema, Relation, Tuple};
+use good_core::error::{GoodError, Result};
+use good_core::instance::Instance;
+use good_core::label::Label;
+use good_core::ops::{Abstraction, EdgeAddition, NodeAddition};
+use good_core::pattern::Pattern;
+use good_core::program::Env;
+use good_core::value::Value;
+use good_graph::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A one-level nested relation: key tuples mapping to sets of nested
+/// tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestedRelation {
+    /// Schema of the key (ungrouped) attributes.
+    pub key_schema: RelSchema,
+    /// Schema of the nested component.
+    pub nested_schema: RelSchema,
+    /// Name of the relation-valued attribute.
+    pub nested_attr: String,
+    /// Rows: key tuple → set of nested tuples.
+    pub rows: BTreeMap<Tuple, BTreeSet<Tuple>>,
+}
+
+/// `ν` — nest `relation` on everything except `key_attrs`: group rows
+/// by the key attributes, collecting the remaining attributes into a
+/// relation-valued attribute named `nested_attr`.
+pub fn nest(relation: &Relation, key_attrs: &[&str], nested_attr: &str) -> Result<NestedRelation> {
+    let schema = relation.schema();
+    let mut key_positions = Vec::new();
+    for attr in key_attrs {
+        key_positions.push(
+            schema.position(attr).ok_or_else(|| {
+                GoodError::InvariantViolation(format!("unknown attribute {attr}"))
+            })?,
+        );
+    }
+    let nested_positions: Vec<usize> = (0..schema.arity())
+        .filter(|pos| !key_positions.contains(pos))
+        .collect();
+    let key_schema = RelSchema::new(key_positions.iter().map(|&pos| schema.attrs()[pos].clone()));
+    let nested_schema = RelSchema::new(
+        nested_positions
+            .iter()
+            .map(|&pos| schema.attrs()[pos].clone()),
+    );
+    let mut rows: BTreeMap<Tuple, BTreeSet<Tuple>> = BTreeMap::new();
+    for tuple in relation.tuples() {
+        let key: Tuple = key_positions
+            .iter()
+            .map(|&pos| tuple[pos].clone())
+            .collect();
+        let nested: Tuple = nested_positions
+            .iter()
+            .map(|&pos| tuple[pos].clone())
+            .collect();
+        rows.entry(key).or_default().insert(nested);
+    }
+    Ok(NestedRelation {
+        key_schema,
+        nested_schema,
+        nested_attr: nested_attr.to_string(),
+        rows,
+    })
+}
+
+/// `μ` — unnest back to a flat relation (key attributes first, nested
+/// attributes after, as produced by [`nest`]).
+pub fn unnest(nested: &NestedRelation) -> Result<Relation> {
+    let schema = RelSchema::new(
+        nested
+            .key_schema
+            .attrs()
+            .iter()
+            .chain(nested.nested_schema.attrs())
+            .cloned(),
+    );
+    let mut out = Relation::new(schema);
+    for (key, elements) in &nested.rows {
+        for element in elements {
+            out.insert(key.iter().chain(element).cloned().collect())?;
+        }
+    }
+    Ok(out)
+}
+
+/// The outcome of simulating a nest in GOOD.
+#[derive(Debug, Clone)]
+pub struct GoodNest {
+    /// Class of the key objects (one per distinct key).
+    pub key_class: Label,
+    /// Class of the element objects (one per distinct nested tuple —
+    /// node addition deduplicates).
+    pub elem_class: Label,
+    /// The multivalued edge from key objects to their elements.
+    pub elem_edge: Label,
+    /// Class of the abstraction groups (one per distinct *relation
+    /// value* — the faithful-simulation representatives).
+    pub group_class: Label,
+    /// The abstraction's member edge.
+    pub group_edge: Label,
+}
+
+/// Simulate `nest` inside a GOOD instance produced by
+/// [`crate::encode::encode`]: `class` holds the flat tuples under
+/// `schema`. Runs three node/edge additions and one abstraction.
+pub fn nest_in_good(
+    db: &mut Instance,
+    env: &mut Env,
+    class: &Label,
+    schema: &RelSchema,
+    key_attrs: &[&str],
+    prefix: &str,
+) -> Result<GoodNest> {
+    let key_class = Label::new(format!("{prefix}-key"));
+    let elem_class = Label::new(format!("{prefix}-elem"));
+    let elem_edge = Label::new(format!("{prefix}-elems"));
+    let group_class = Label::new(format!("{prefix}-setrep"));
+    let group_edge = Label::new(format!("{prefix}-member"));
+
+    let nested_attrs: Vec<&str> = schema
+        .attrs()
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .filter(|name| !key_attrs.contains(name))
+        .collect();
+
+    // Helper building the flat-tuple fragment.
+    let fragment = |pattern: &mut Pattern| -> (NodeId, BTreeMap<String, NodeId>) {
+        let object = pattern.node(class.clone());
+        let mut nodes = BTreeMap::new();
+        for (attr, value_type) in schema.attrs() {
+            let value = pattern.node(crate::encode::domain_label(*value_type));
+            pattern.edge(object, attr.as_str(), value);
+            nodes.insert(attr.clone(), value);
+        }
+        (object, nodes)
+    };
+
+    // 1. NA: one key object per distinct key-attribute vector.
+    let mut p = Pattern::new();
+    let (_, nodes) = fragment(&mut p);
+    env.burn_fuel()?;
+    NodeAddition::new(
+        p,
+        key_class.clone(),
+        key_attrs
+            .iter()
+            .map(|attr| (Label::new(*attr), nodes[*attr])),
+    )
+    .apply(db)?;
+
+    // 2. NA: one element object per distinct nested-attribute vector.
+    let mut p = Pattern::new();
+    let (_, nodes) = fragment(&mut p);
+    env.burn_fuel()?;
+    NodeAddition::new(
+        p,
+        elem_class.clone(),
+        nested_attrs
+            .iter()
+            .map(|attr| (Label::new(*attr), nodes[*attr])),
+    )
+    .apply(db)?;
+
+    // 3. EA: connect each key object to the elements it co-occurs with.
+    let mut p = Pattern::new();
+    let (_, nodes) = fragment(&mut p);
+    let key_object = p.node(key_class.clone());
+    for attr in key_attrs {
+        p.edge(key_object, *attr, nodes[*attr]);
+    }
+    let elem_object = p.node(elem_class.clone());
+    for attr in &nested_attrs {
+        p.edge(elem_object, *attr, nodes[*attr]);
+    }
+    env.burn_fuel()?;
+    EdgeAddition::multivalued(p, key_object, elem_edge.clone(), elem_object).apply(db)?;
+
+    // 4. AB: one set representative per distinct element set — the
+    // duplicate elimination the paper attributes to abstraction.
+    let mut p = Pattern::new();
+    let key_node = p.node(key_class.clone());
+    env.burn_fuel()?;
+    Abstraction::new(
+        p,
+        key_node,
+        group_class.clone(),
+        group_edge.clone(),
+        elem_edge.clone(),
+    )
+    .apply(db)?;
+
+    Ok(GoodNest {
+        key_class,
+        elem_class,
+        elem_edge,
+        group_class,
+        group_edge,
+    })
+}
+
+/// Decode the GOOD-simulated nest back into a [`NestedRelation`].
+pub fn decode_nest(
+    db: &Instance,
+    nest: &GoodNest,
+    key_schema: &RelSchema,
+    nested_schema: &RelSchema,
+    nested_attr: &str,
+) -> Result<NestedRelation> {
+    let mut rows = BTreeMap::new();
+    for key_object in db.nodes_with_label(&nest.key_class) {
+        let mut key = Vec::with_capacity(key_schema.arity());
+        for (attr, _) in key_schema.attrs() {
+            let target = db
+                .functional_target(key_object, &Label::new(attr.as_str()))
+                .ok_or_else(|| GoodError::InvariantViolation(format!("key object lacks {attr}")))?;
+            key.push(value_of(db, target)?);
+        }
+        let mut elements = BTreeSet::new();
+        for elem_object in db.targets(key_object, &nest.elem_edge) {
+            let mut element = Vec::with_capacity(nested_schema.arity());
+            for (attr, _) in nested_schema.attrs() {
+                let target = db
+                    .functional_target(elem_object, &Label::new(attr.as_str()))
+                    .ok_or_else(|| {
+                        GoodError::InvariantViolation(format!("element lacks {attr}"))
+                    })?;
+                element.push(value_of(db, target)?);
+            }
+            elements.insert(element);
+        }
+        rows.insert(key, elements);
+    }
+    Ok(NestedRelation {
+        key_schema: key_schema.clone(),
+        nested_schema: nested_schema.clone(),
+        nested_attr: nested_attr.to_string(),
+        rows,
+    })
+}
+
+fn value_of(db: &Instance, node: NodeId) -> Result<Value> {
+    db.print_value(node)
+        .cloned()
+        .ok_or_else(|| GoodError::InvariantViolation("expected a printable node".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::relation::RelDatabase;
+    use good_core::value::ValueType;
+
+    /// emp(dept, name): two departments, with the "db" and "ai" rows
+    /// designed so that two DIFFERENT keys carry the SAME nested set —
+    /// the duplicate relation value that abstraction must recognize.
+    fn flat() -> Relation {
+        let mut r = Relation::new(RelSchema::new([
+            ("dept", ValueType::Str),
+            ("name", ValueType::Str),
+        ]));
+        r.extend([
+            vec![Value::str("db"), Value::str("ann")],
+            vec![Value::str("db"), Value::str("bob")],
+            vec![Value::str("os"), Value::str("cal")],
+            vec![Value::str("ai"), Value::str("ann")],
+            vec![Value::str("ai"), Value::str("bob")],
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn nest_groups_rows() {
+        let nested = nest(&flat(), &["dept"], "staff").unwrap();
+        assert_eq!(nested.rows.len(), 3);
+        let db_set = &nested.rows[&vec![Value::str("db")]];
+        assert_eq!(db_set.len(), 2);
+        let os_set = &nested.rows[&vec![Value::str("os")]];
+        assert_eq!(os_set.len(), 1);
+    }
+
+    #[test]
+    fn unnest_inverts_nest() {
+        let original = flat();
+        let nested = nest(&original, &["dept"], "staff").unwrap();
+        let back = unnest(&nested).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn nest_unnest_on_empty() {
+        let empty = Relation::new(RelSchema::new([
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+        ]));
+        let nested = nest(&empty, &["a"], "bs").unwrap();
+        assert!(nested.rows.is_empty());
+        assert!(unnest(&nested).unwrap().is_empty());
+    }
+
+    #[test]
+    fn good_simulation_matches_native_nest() {
+        let flat_rel = flat();
+        let mut base = RelDatabase::new();
+        base.add("emp", flat_rel.clone());
+        let mut db = encode(&base).unwrap();
+        let mut env = Env::new();
+        let good = nest_in_good(
+            &mut db,
+            &mut env,
+            &crate::encode::class_label("emp"),
+            flat_rel.schema(),
+            &["dept"],
+            "n",
+        )
+        .unwrap();
+        db.validate().unwrap();
+
+        let expected = nest(&flat_rel, &["dept"], "staff").unwrap();
+        let key_schema = RelSchema::new([("dept".to_string(), ValueType::Str)]);
+        let nested_schema = RelSchema::new([("name".to_string(), ValueType::Str)]);
+        let decoded = decode_nest(&db, &good, &key_schema, &nested_schema, "staff").unwrap();
+        assert_eq!(decoded.rows, expected.rows);
+    }
+
+    #[test]
+    fn abstraction_identifies_duplicate_relation_values() {
+        // "db" and "ai" have identical staff sets {ann, bob} → they end
+        // up in the same abstraction group; "os" in its own.
+        let flat_rel = flat();
+        let mut base = RelDatabase::new();
+        base.add("emp", flat_rel.clone());
+        let mut db = encode(&base).unwrap();
+        let mut env = Env::new();
+        let good = nest_in_good(
+            &mut db,
+            &mut env,
+            &crate::encode::class_label("emp"),
+            flat_rel.schema(),
+            &["dept"],
+            "n",
+        )
+        .unwrap();
+        assert_eq!(db.label_count(&good.group_class), 2);
+        let sizes: Vec<usize> = db
+            .nodes_with_label(&good.group_class)
+            .map(|g| db.targets(g, &good.group_edge).count())
+            .collect();
+        let mut sorted = sizes.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![1, 2]);
+    }
+
+    #[test]
+    fn element_objects_are_shared_across_keys() {
+        // Node addition dedup: "ann" appears under db and ai but there
+        // is ONE element object for her.
+        let flat_rel = flat();
+        let mut base = RelDatabase::new();
+        base.add("emp", flat_rel.clone());
+        let mut db = encode(&base).unwrap();
+        let mut env = Env::new();
+        let good = nest_in_good(
+            &mut db,
+            &mut env,
+            &crate::encode::class_label("emp"),
+            flat_rel.schema(),
+            &["dept"],
+            "n",
+        )
+        .unwrap();
+        // Distinct nested tuples: ann, bob, cal → 3 element objects.
+        assert_eq!(db.label_count(&good.elem_class), 3);
+        // Distinct keys: db, os, ai → 3 key objects.
+        assert_eq!(db.label_count(&good.key_class), 3);
+    }
+
+    #[test]
+    fn unknown_key_attr_is_an_error() {
+        assert!(nest(&flat(), &["nope"], "x").is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Relations: schemas, typed tuples, and databases of named relations.
+//!
+//! Set semantics throughout — tuples are stored in a `BTreeSet`, which
+//! also gives deterministic iteration for tests and display.
+
+use good_core::error::{GoodError, Result};
+use good_core::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A relation schema: an ordered list of `(attribute, domain)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelSchema {
+    attrs: Vec<(String, ValueType)>,
+}
+
+impl RelSchema {
+    /// Build a schema; attribute names must be distinct.
+    ///
+    /// # Panics
+    /// Panics on duplicate attribute names — a schema is authored, not
+    /// computed.
+    pub fn new(attrs: impl IntoIterator<Item = (impl Into<String>, ValueType)>) -> Self {
+        let attrs: Vec<(String, ValueType)> = attrs
+            .into_iter()
+            .map(|(name, ty)| (name.into(), ty))
+            .collect();
+        let mut seen = BTreeSet::new();
+        for (name, _) in &attrs {
+            assert!(seen.insert(name.clone()), "duplicate attribute {name}");
+        }
+        RelSchema { attrs }
+    }
+
+    /// The attributes in order.
+    pub fn attrs(&self) -> &[(String, ValueType)] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of an attribute.
+    pub fn position(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|(name, _)| name == attr)
+    }
+
+    /// Domain of an attribute.
+    pub fn domain(&self, attr: &str) -> Option<ValueType> {
+        self.attrs
+            .iter()
+            .find(|(name, _)| name == attr)
+            .map(|(_, ty)| *ty)
+    }
+
+    /// Attribute names shared with `other`.
+    pub fn common_attrs(&self, other: &RelSchema) -> Vec<String> {
+        self.attrs
+            .iter()
+            .filter(|(name, _)| other.position(name).is_some())
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+}
+
+/// A tuple: values in schema order.
+pub type Tuple = Vec<Value>;
+
+/// A relation: a schema plus a set of tuples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: RelSchema,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    pub fn new(schema: RelSchema) -> Self {
+        Relation {
+            schema,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// Insert a tuple, checking arity and domains.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if tuple.len() != self.schema.arity() {
+            return Err(GoodError::InvariantViolation(format!(
+                "tuple arity {} != schema arity {}",
+                tuple.len(),
+                self.schema.arity()
+            )));
+        }
+        for (value, (attr, ty)) in tuple.iter().zip(self.schema.attrs()) {
+            if value.value_type() != *ty {
+                return Err(GoodError::ValueTypeMismatch {
+                    label: attr.as_str().into(),
+                    expected: *ty,
+                    value: value.clone(),
+                });
+            }
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Insert many tuples.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<()> {
+        for tuple in tuples {
+            self.insert(tuple)?;
+        }
+        Ok(())
+    }
+
+    /// The tuples, in deterministic order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// The value of `attr` in `tuple`.
+    pub fn value<'t>(&self, tuple: &'t Tuple, attr: &str) -> Option<&'t Value> {
+        self.schema.position(attr).map(|pos| &tuple[pos])
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self
+            .schema
+            .attrs()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        writeln!(f, "| {} |", names.join(" | "))?;
+        for tuple in &self.tuples {
+            let cells: Vec<String> = tuple.iter().map(Value::to_string).collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A database: named relations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelDatabase {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl RelDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        RelDatabase::default()
+    }
+
+    /// Add (or replace) a relation under `name`.
+    pub fn add(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| GoodError::InvariantViolation(format!("unknown relation {name}")))
+    }
+
+    /// Iterate over `(name, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employees() -> Relation {
+        let mut r = Relation::new(RelSchema::new([
+            ("name", ValueType::Str),
+            ("dept", ValueType::Str),
+            ("salary", ValueType::Int),
+        ]));
+        r.extend([
+            vec![Value::str("ann"), Value::str("db"), Value::int(90)],
+            vec![Value::str("bob"), Value::str("os"), Value::int(80)],
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn schema_queries() {
+        let r = employees();
+        assert_eq!(r.schema().arity(), 3);
+        assert_eq!(r.schema().position("dept"), Some(1));
+        assert_eq!(r.schema().domain("salary"), Some(ValueType::Int));
+        assert_eq!(r.schema().domain("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attrs_rejected() {
+        RelSchema::new([("a", ValueType::Int), ("a", ValueType::Str)]);
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut r = employees();
+        let dup = vec![Value::str("ann"), Value::str("db"), Value::int(90)];
+        assert!(!r.insert(dup).unwrap());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let mut r = employees();
+        assert!(r.insert(vec![Value::str("x")]).is_err());
+        assert!(r
+            .insert(vec![Value::str("x"), Value::str("y"), Value::str("oops")])
+            .is_err());
+    }
+
+    #[test]
+    fn value_by_attr() {
+        let r = employees();
+        let tuple = r.tuples().next().unwrap();
+        assert_eq!(r.value(tuple, "name"), Some(&Value::str("ann")));
+        assert_eq!(r.value(tuple, "nope"), None);
+    }
+
+    #[test]
+    fn database_lookup() {
+        let mut db = RelDatabase::new();
+        db.add("emp", employees());
+        assert_eq!(db.get("emp").unwrap().len(), 2);
+        assert!(db.get("nope").is_err());
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let text = employees().to_string();
+        assert!(text.contains("| name | dept | salary |"));
+        assert!(text.contains("ann"));
+    }
+
+    #[test]
+    fn common_attrs() {
+        let a = RelSchema::new([("x", ValueType::Int), ("y", ValueType::Str)]);
+        let b = RelSchema::new([("y", ValueType::Str), ("z", ValueType::Int)]);
+        assert_eq!(a.common_attrs(&b), vec!["y".to_string()]);
+    }
+}

@@ -1,0 +1,304 @@
+//! `good-store` — journaled durable storage for GOOD object bases.
+//!
+//! The paper's prototype persisted GOOD databases through a host
+//! relational system (Section 5); a standalone library needs its own
+//! durability story. This crate provides the standard one:
+//!
+//! * a **journal** file of JSON-line records — a leading
+//!   [`LogRecord::Snapshot`] followed by [`LogRecord::Apply`] /
+//!   [`LogRecord::RegisterMethod`] entries;
+//! * **atomic execution**: a program is applied to a clone first; only
+//!   on success is the record appended (and fsynced) and the clone
+//!   committed — a failing program can neither corrupt the in-memory
+//!   instance nor the journal;
+//! * **crash recovery**: a torn final record (the classic
+//!   crash-during-append) is detected and ignored on open; corruption
+//!   anywhere earlier is an error, not a silent truncation;
+//! * **checkpointing**: collapse the journal into a fresh snapshot,
+//!   written to a temporary file and atomically renamed into place.
+//!
+//! Determinism makes log replay sound: GOOD operations are
+//! deterministic up to new-object identity, and since the journal
+//! replays from the snapshot's concrete arena state, replay is in fact
+//! bit-identical (node ids included).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use good_core::error::GoodError;
+use good_core::instance::Instance;
+use good_core::matching::{find_matchings, Matching};
+use good_core::method::Method;
+use good_core::ops::OpReport;
+use good_core::pattern::Pattern;
+use good_core::program::{Env, Program, DEFAULT_FUEL};
+use good_core::scheme::Scheme;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// One journal record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A full snapshot of the instance — the first record of every
+    /// journal generation.
+    Snapshot(Box<Instance>),
+    /// A method registration.
+    RegisterMethod(Box<Method>),
+    /// An applied program.
+    Apply(Program),
+}
+
+/// Store errors: I/O, serialization, or model-level failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A journal record failed to parse (other than a torn tail).
+    Corrupt {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// The journal is empty or does not start with a snapshot.
+    MissingSnapshot,
+    /// A model-level error while replaying or executing.
+    Model(GoodError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "journal I/O error: {err}"),
+            StoreError::Corrupt { line, message } => {
+                write!(f, "corrupt journal record at line {line}: {message}")
+            }
+            StoreError::MissingSnapshot => {
+                write!(f, "journal does not begin with a snapshot record")
+            }
+            StoreError::Model(err) => write!(f, "model error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+impl From<GoodError> for StoreError {
+    fn from(err: GoodError) -> Self {
+        StoreError::Model(err)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// A durable GOOD object base.
+pub struct Store {
+    path: PathBuf,
+    file: File,
+    db: Instance,
+    env: Env,
+    /// Registered methods, kept for checkpointing (the Env does not
+    /// expose iteration).
+    methods: Vec<Method>,
+    records: usize,
+    /// True when `open` discarded a torn trailing record.
+    recovered_torn_tail: bool,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("path", &self.path)
+            .field("records", &self.records)
+            .field("nodes", &self.db.node_count())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Create a fresh store at `path` over `scheme`. Fails if the file
+    /// exists.
+    pub fn create(path: impl AsRef<Path>, scheme: Scheme) -> Result<Store> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        let db = Instance::new(scheme);
+        let record = LogRecord::Snapshot(Box::new(db.clone()));
+        append_record(&mut file, &record)?;
+        Ok(Store {
+            path,
+            file,
+            db,
+            env: Env::with_fuel(DEFAULT_FUEL),
+            methods: Vec::new(),
+            records: 1,
+            recovered_torn_tail: false,
+        })
+    }
+
+    /// Open an existing store, replaying its journal.
+    pub fn open(path: impl AsRef<Path>) -> Result<Store> {
+        let path = path.as_ref().to_path_buf();
+        let reader = BufReader::new(File::open(&path)?);
+        let mut db: Option<Instance> = None;
+        let mut env = Env::with_fuel(DEFAULT_FUEL);
+        let mut methods: Vec<Method> = Vec::new();
+        let mut records = 0usize;
+        let mut recovered_torn_tail = false;
+
+        let lines: Vec<String> = reader.lines().collect::<std::io::Result<_>>()?;
+        let total = lines.len();
+        for (index, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: LogRecord = match serde_json::from_str(line) {
+                Ok(record) => record,
+                Err(err) => {
+                    if index + 1 == total {
+                        // A torn tail from a crash mid-append: recover.
+                        recovered_torn_tail = true;
+                        break;
+                    }
+                    return Err(StoreError::Corrupt {
+                        line: index + 1,
+                        message: err.to_string(),
+                    });
+                }
+            };
+            match record {
+                LogRecord::Snapshot(instance) => {
+                    if db.is_some() {
+                        return Err(StoreError::Corrupt {
+                            line: index + 1,
+                            message: "unexpected second snapshot".into(),
+                        });
+                    }
+                    db = Some(*instance);
+                }
+                LogRecord::RegisterMethod(method) => {
+                    if db.is_none() {
+                        return Err(StoreError::MissingSnapshot);
+                    }
+                    env.register((*method).clone());
+                    methods.push(*method);
+                }
+                LogRecord::Apply(program) => {
+                    let Some(db) = db.as_mut() else {
+                        return Err(StoreError::MissingSnapshot);
+                    };
+                    env.refuel();
+                    program.apply(db, &mut env)?;
+                }
+            }
+            records += 1;
+        }
+        let db = db.ok_or(StoreError::MissingSnapshot)?;
+        db.validate()?;
+        // Truncate the torn tail so future appends start clean.
+        if recovered_torn_tail {
+            let intact: usize = lines[..total - 1].iter().map(|l| l.len() + 1).sum();
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(intact as u64)?;
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Store {
+            path,
+            file,
+            db,
+            env,
+            methods,
+            records,
+            recovered_torn_tail,
+        })
+    }
+
+    /// The current instance.
+    pub fn instance(&self) -> &Instance {
+        &self.db
+    }
+
+    /// Number of journal records replayed/written in this generation.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// True if `open` had to discard a torn trailing record.
+    pub fn recovered_torn_tail(&self) -> bool {
+        self.recovered_torn_tail
+    }
+
+    /// Register a method, durably.
+    pub fn register_method(&mut self, method: Method) -> Result<()> {
+        append_record(
+            &mut self.file,
+            &LogRecord::RegisterMethod(Box::new(method.clone())),
+        )?;
+        self.env.register(method.clone());
+        self.methods.push(method);
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Execute a program atomically: state and journal change only if
+    /// the whole program succeeds.
+    pub fn execute(&mut self, program: &Program) -> Result<OpReport> {
+        let mut next = self.db.clone();
+        self.env.refuel();
+        let report = program.apply(&mut next, &mut self.env)?;
+        append_record(&mut self.file, &LogRecord::Apply(program.clone()))?;
+        self.db = next;
+        self.records += 1;
+        Ok(report)
+    }
+
+    /// Run a read-only pattern query.
+    pub fn query(&self, pattern: &Pattern) -> Result<Vec<Matching>> {
+        Ok(find_matchings(pattern, &self.db)?)
+    }
+
+    /// Collapse the journal into a single fresh snapshot (temp file +
+    /// atomic rename).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let tmp_path = self.path.with_extension("journal.tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            append_record(&mut tmp, &LogRecord::Snapshot(Box::new(self.db.clone())))?;
+            // Methods survive checkpoints: re-log every registration.
+            for method in self.methods.iter() {
+                append_record(
+                    &mut tmp,
+                    &LogRecord::RegisterMethod(Box::new(method.clone())),
+                )?;
+            }
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.records = 1 + self.methods.len();
+        Ok(())
+    }
+}
+
+fn append_record(file: &mut File, record: &LogRecord) -> Result<()> {
+    let mut line = serde_json::to_string(record).map_err(|err| StoreError::Corrupt {
+        line: 0,
+        message: err.to_string(),
+    })?;
+    line.push('\n');
+    file.write_all(line.as_bytes())?;
+    file.sync_data()?;
+    Ok(())
+}

@@ -1,0 +1,280 @@
+//! Durability tests: create/execute/reopen, crash recovery, atomicity,
+//! checkpointing, and corruption detection.
+
+use good_core::label::Label;
+use good_core::ops::{EdgeAddition, NodeAddition};
+use good_core::pattern::Pattern;
+use good_core::program::{Operation, Program};
+use good_core::scheme::{Scheme, SchemeBuilder};
+use good_core::value::ValueType;
+use good_store::{Store, StoreError};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn scheme() -> Scheme {
+    SchemeBuilder::new()
+        .object("Info")
+        .printable("String", ValueType::Str)
+        .functional("Info", "name", "String")
+        .multivalued("Info", "links-to", "Info")
+        .build()
+}
+
+/// A unique journal path per test.
+fn journal_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "good-store-test-{name}-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A program adding one Tag per Info.
+fn tag_program(tag: &str) -> Program {
+    let mut pattern = Pattern::new();
+    let info = pattern.node("Info");
+    Program::from_ops([Operation::NodeAdd(NodeAddition::new(
+        pattern,
+        tag,
+        [(Label::new(format!("{tag}-of")), info)],
+    ))])
+}
+
+/// A program creating one unconditional Info seed.
+fn seed_program(class: &str) -> Program {
+    Program::from_ops([Operation::NodeAdd(NodeAddition::new(
+        Pattern::new(),
+        class,
+        [],
+    ))])
+}
+
+#[test]
+fn create_execute_reopen() {
+    let path = journal_path("basic");
+    {
+        let mut store = Store::create(&path, scheme()).unwrap();
+        store.execute(&seed_program("Info")).unwrap();
+        store.execute(&tag_program("Tag")).unwrap();
+        assert_eq!(store.instance().label_count(&"Tag".into()), 1);
+    }
+    let store = Store::open(&path).unwrap();
+    assert!(!store.recovered_torn_tail());
+    assert_eq!(store.instance().label_count(&"Info".into()), 1);
+    assert_eq!(store.instance().label_count(&"Tag".into()), 1);
+    store.instance().validate().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn replay_is_bit_identical() {
+    let path = journal_path("replay");
+    let before = {
+        let mut store = Store::create(&path, scheme()).unwrap();
+        store.execute(&seed_program("Info")).unwrap();
+        store.execute(&seed_program("Info2")).unwrap();
+        store.execute(&tag_program("Tag")).unwrap();
+        store.instance().clone()
+    };
+    let store = Store::open(&path).unwrap();
+    // Replay reproduces exact node ids, not just isomorphism.
+    for node in before.graph().node_ids() {
+        assert_eq!(store.instance().node_label(node), before.node_label(node));
+    }
+    assert!(store.instance().isomorphic_to(&before));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn failed_programs_change_nothing() {
+    let path = journal_path("atomic");
+    let mut store = Store::create(&path, scheme()).unwrap();
+    store.execute(&seed_program("Info")).unwrap();
+    store.execute(&seed_program("Partner")).unwrap();
+    let records = store.record_count();
+    let nodes = store.instance().node_count();
+
+    // A program whose second op fails: EA with an unknown-node pattern
+    // label (validation failure).
+    let bad = {
+        let mut pattern = Pattern::new();
+        let a = pattern.node("Nope");
+        let b = pattern.node("Info");
+        Program::from_ops([
+            Operation::NodeAdd(NodeAddition::new(Pattern::new(), "Junk", [])),
+            Operation::EdgeAdd(EdgeAddition::multivalued(pattern, a, "links-to", b)),
+        ])
+    };
+    assert!(store.execute(&bad).is_err());
+    // Neither the instance nor the journal advanced — even though the
+    // program's FIRST op had succeeded on the scratch copy.
+    assert_eq!(store.record_count(), records);
+    assert_eq!(store.instance().node_count(), nodes);
+    assert_eq!(store.instance().label_count(&"Junk".into()), 0);
+
+    // The journal on disk agrees.
+    drop(store);
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.instance().label_count(&"Junk".into()), 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_tail_is_recovered_and_truncated() {
+    let path = journal_path("torn");
+    {
+        let mut store = Store::create(&path, scheme()).unwrap();
+        store.execute(&seed_program("Info")).unwrap();
+    }
+    // Simulate a crash mid-append: half a JSON record, no newline.
+    {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(b"{\"Apply\":{\"ops\":[{\"NodeAdd\":{\"pat")
+            .unwrap();
+    }
+    let mut store = Store::open(&path).unwrap();
+    assert!(store.recovered_torn_tail());
+    assert_eq!(store.instance().label_count(&"Info".into()), 1);
+    // The tail was truncated: new appends produce a clean journal.
+    store.execute(&seed_program("After")).unwrap();
+    drop(store);
+    let store = Store::open(&path).unwrap();
+    assert!(!store.recovered_torn_tail());
+    assert_eq!(store.instance().label_count(&"After".into()), 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corruption_in_the_middle_is_an_error() {
+    let path = journal_path("corrupt");
+    {
+        let mut store = Store::create(&path, scheme()).unwrap();
+        store.execute(&seed_program("Info")).unwrap();
+        store.execute(&seed_program("Info2")).unwrap();
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines[1] = "{\"Apply\": GARBAGE}";
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    match Store::open(&path) {
+        Err(StoreError::Corrupt { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected corruption error, got {other:?}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checkpoint_compacts_and_preserves_state_and_methods() {
+    let path = journal_path("checkpoint");
+    let mut store = Store::create(&path, scheme()).unwrap();
+    store.execute(&seed_program("Info")).unwrap();
+    for index in 0..10 {
+        store.execute(&tag_program(&format!("Tag{index}"))).unwrap();
+    }
+    // Register a method so we can check it survives.
+    let method = {
+        let mut p = Pattern::new();
+        let head = p.method_head("Mark");
+        let recv = p.node("Info");
+        p.edge(head, good_core::label::receiver_label(), recv);
+        let na = NodeAddition::new(p, "Mark", [(Label::new("on"), recv)]);
+        let mut interface = Scheme::new();
+        interface.add_object_label("Mark").unwrap();
+        interface.add_functional_label("on").unwrap();
+        interface.add_object_label("Info").unwrap();
+        interface.add_triple("Mark", "on", "Info").unwrap();
+        good_core::method::Method::new(
+            good_core::method::MethodSpec::new("Mark", "Info", []),
+            vec![Operation::NodeAdd(na)],
+            interface,
+        )
+    };
+    store.register_method(method).unwrap();
+
+    let size_before = std::fs::metadata(&path).unwrap().len();
+    let snapshot = store.instance().clone();
+    store.checkpoint().unwrap();
+    let size_after = std::fs::metadata(&path).unwrap().len();
+    assert!(size_after < size_before, "{size_after} !< {size_before}");
+    assert!(store.instance().isomorphic_to(&snapshot));
+
+    // Reopen: state and the method both survive; calling it works.
+    let mut store = Store::open(&path).unwrap();
+    assert!(store.instance().isomorphic_to(&snapshot));
+    let call_program = {
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        Program::from_ops([Operation::Call(good_core::method::MethodCall::new(
+            "Mark",
+            p,
+            info,
+            [],
+        ))])
+    };
+    store.execute(&call_program).unwrap();
+    assert_eq!(store.instance().label_count(&"Mark".into()), 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn create_refuses_to_clobber() {
+    let path = journal_path("clobber");
+    let _store = Store::create(&path, scheme()).unwrap();
+    assert!(matches!(
+        Store::create(&path, scheme()),
+        Err(StoreError::Io(_))
+    ));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn query_through_the_store() {
+    let path = journal_path("query");
+    let mut store = Store::create(&path, scheme()).unwrap();
+    store.execute(&seed_program("Info")).unwrap();
+    let mut pattern = Pattern::new();
+    pattern.node("Info");
+    assert_eq!(store.query(&pattern).unwrap().len(), 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn opening_a_missing_file_is_an_io_error() {
+    let path = journal_path("missing");
+    assert!(matches!(Store::open(&path), Err(StoreError::Io(_))));
+}
+
+#[test]
+fn second_snapshot_mid_journal_is_corruption() {
+    let path = journal_path("double-snapshot");
+    {
+        let mut store = Store::create(&path, scheme()).unwrap();
+        store.execute(&seed_program("Info")).unwrap();
+    }
+    // Append another full snapshot record by duplicating line 1.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let first = text.lines().next().unwrap().to_string();
+    let forged = format!("{text}{first}\n{first}\n");
+    std::fs::write(&path, forged).unwrap();
+    assert!(matches!(
+        Store::open(&path),
+        Err(StoreError::Corrupt { .. })
+    ));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn empty_journal_is_missing_snapshot() {
+    let path = journal_path("empty");
+    std::fs::write(&path, "").unwrap();
+    assert!(matches!(
+        Store::open(&path),
+        Err(StoreError::MissingSnapshot)
+    ));
+    std::fs::remove_file(&path).unwrap();
+}

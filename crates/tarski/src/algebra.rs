@@ -1,0 +1,250 @@
+//! The Tarski (binary) relation algebra as an expression language.
+//!
+//! Expressions are evaluated against a catalog of named base relations.
+//! This is the query language of the Indiana implementation route (paper reference 27);
+//! GOOD path expressions compile into it (see [`crate::backend`]).
+
+use crate::binrel::BinRel;
+use good_core::error::{GoodError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A Tarski algebra expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TarskiExpr {
+    /// A named base relation.
+    Base(String),
+    /// `R ∪ S`.
+    Union(Box<TarskiExpr>, Box<TarskiExpr>),
+    /// `R ∩ S`.
+    Intersect(Box<TarskiExpr>, Box<TarskiExpr>),
+    /// `R − S`.
+    Difference(Box<TarskiExpr>, Box<TarskiExpr>),
+    /// Relative product `R ; S`.
+    Compose(Box<TarskiExpr>, Box<TarskiExpr>),
+    /// Converse `R⁻¹`.
+    Converse(Box<TarskiExpr>),
+    /// Transitive closure `R⁺`.
+    Closure(Box<TarskiExpr>),
+    /// Domain coreflexive `dom(R)`.
+    Domain(Box<TarskiExpr>),
+    /// Range coreflexive `ran(R)`.
+    Range(Box<TarskiExpr>),
+}
+
+impl TarskiExpr {
+    /// A named base relation.
+    pub fn base(name: impl Into<String>) -> Self {
+        TarskiExpr::Base(name.into())
+    }
+    /// `self ; other`.
+    pub fn then(self, other: TarskiExpr) -> Self {
+        TarskiExpr::Compose(Box::new(self), Box::new(other))
+    }
+    /// `self ∪ other`.
+    pub fn or(self, other: TarskiExpr) -> Self {
+        TarskiExpr::Union(Box::new(self), Box::new(other))
+    }
+    /// `self ∩ other`.
+    pub fn and(self, other: TarskiExpr) -> Self {
+        TarskiExpr::Intersect(Box::new(self), Box::new(other))
+    }
+    /// `self − other`.
+    pub fn minus(self, other: TarskiExpr) -> Self {
+        TarskiExpr::Difference(Box::new(self), Box::new(other))
+    }
+    /// `self⁻¹`.
+    pub fn inv(self) -> Self {
+        TarskiExpr::Converse(Box::new(self))
+    }
+    /// `self⁺`.
+    pub fn plus(self) -> Self {
+        TarskiExpr::Closure(Box::new(self))
+    }
+
+    /// Evaluate against a catalog of named relations. Unknown base
+    /// relations are an error; use [`TarskiExpr::eval_lenient`] where
+    /// absence should denote the empty relation.
+    pub fn eval<A: Ord + Clone>(&self, catalog: &BTreeMap<String, BinRel<A>>) -> Result<BinRel<A>> {
+        self.eval_impl(catalog, false)
+    }
+
+    /// Evaluate, reading unknown base relations as empty — the right
+    /// semantics for pattern constraints over incomplete information
+    /// (a print value nobody holds simply matches nothing).
+    pub fn eval_lenient<A: Ord + Clone>(
+        &self,
+        catalog: &BTreeMap<String, BinRel<A>>,
+    ) -> Result<BinRel<A>> {
+        self.eval_impl(catalog, true)
+    }
+
+    fn eval_impl<A: Ord + Clone>(
+        &self,
+        catalog: &BTreeMap<String, BinRel<A>>,
+        lenient: bool,
+    ) -> Result<BinRel<A>> {
+        match self {
+            TarskiExpr::Base(name) => match catalog.get(name) {
+                Some(relation) => Ok(relation.clone()),
+                None if lenient => Ok(BinRel::new()),
+                None => Err(GoodError::InvariantViolation(format!(
+                    "unknown relation {name}"
+                ))),
+            },
+            TarskiExpr::Union(l, r) => Ok(l
+                .eval_impl(catalog, lenient)?
+                .union(&r.eval_impl(catalog, lenient)?)),
+            TarskiExpr::Intersect(l, r) => Ok(l
+                .eval_impl(catalog, lenient)?
+                .intersect(&r.eval_impl(catalog, lenient)?)),
+            TarskiExpr::Difference(l, r) => Ok(l
+                .eval_impl(catalog, lenient)?
+                .difference(&r.eval_impl(catalog, lenient)?)),
+            TarskiExpr::Compose(l, r) => Ok(l
+                .eval_impl(catalog, lenient)?
+                .compose(&r.eval_impl(catalog, lenient)?)),
+            TarskiExpr::Converse(e) => Ok(e.eval_impl(catalog, lenient)?.converse()),
+            TarskiExpr::Closure(e) => Ok(e.eval_impl(catalog, lenient)?.transitive_closure()),
+            TarskiExpr::Domain(e) => Ok(e.eval_impl(catalog, lenient)?.domain()),
+            TarskiExpr::Range(e) => Ok(e.eval_impl(catalog, lenient)?.range()),
+        }
+    }
+}
+
+impl fmt::Display for TarskiExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TarskiExpr::Base(name) => write!(f, "{name}"),
+            TarskiExpr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+            TarskiExpr::Intersect(l, r) => write!(f, "({l} ∩ {r})"),
+            TarskiExpr::Difference(l, r) => write!(f, "({l} − {r})"),
+            TarskiExpr::Compose(l, r) => write!(f, "({l} ; {r})"),
+            TarskiExpr::Converse(e) => write!(f, "{e}⁻¹"),
+            TarskiExpr::Closure(e) => write!(f, "{e}⁺"),
+            TarskiExpr::Domain(e) => write!(f, "dom({e})"),
+            TarskiExpr::Range(e) => write!(f, "ran({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn catalog() -> BTreeMap<String, BinRel<u32>> {
+        let mut out = BTreeMap::new();
+        out.insert(
+            "parent".to_string(),
+            BinRel::from_pairs([(1u32, 2), (2, 3), (2, 4)]),
+        );
+        out.insert("likes".to_string(), BinRel::from_pairs([(3u32, 4), (4, 3)]));
+        out
+    }
+
+    #[test]
+    fn grandparent_is_composition() {
+        let grand = TarskiExpr::base("parent").then(TarskiExpr::base("parent"));
+        let result = grand.eval(&catalog()).unwrap();
+        assert_eq!(result, BinRel::from_pairs([(1u32, 3), (1, 4)]));
+    }
+
+    #[test]
+    fn ancestor_is_closure() {
+        let ancestor = TarskiExpr::base("parent").plus();
+        let result = ancestor.eval(&catalog()).unwrap();
+        assert!(result.contains(&1, &4));
+        assert_eq!(result.len(), 5);
+    }
+
+    #[test]
+    fn child_is_converse() {
+        let child = TarskiExpr::base("parent").inv();
+        assert!(child.eval(&catalog()).unwrap().contains(&3, &2));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let both = TarskiExpr::base("likes").and(TarskiExpr::base("likes").inv());
+        assert_eq!(both.eval(&catalog()).unwrap().len(), 2); // mutual likes
+        let either = TarskiExpr::base("parent").or(TarskiExpr::base("likes"));
+        assert_eq!(either.eval(&catalog()).unwrap().len(), 5);
+        let minus = TarskiExpr::base("parent").minus(TarskiExpr::base("likes"));
+        assert_eq!(minus.eval(&catalog()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn domain_and_range_coreflexives() {
+        let dom = TarskiExpr::Domain(Box::new(TarskiExpr::base("parent")));
+        assert_eq!(dom.eval(&catalog()).unwrap(), BinRel::identity([1u32, 2]));
+        let ran = TarskiExpr::Range(Box::new(TarskiExpr::base("parent")));
+        assert_eq!(
+            ran.eval(&catalog()).unwrap(),
+            BinRel::identity([2u32, 3, 4])
+        );
+    }
+
+    #[test]
+    fn display_renders_algebra_notation() {
+        let expr = TarskiExpr::base("parent")
+            .then(TarskiExpr::base("parent").inv())
+            .plus();
+        assert_eq!(expr.to_string(), "(parent ; parent⁻¹)⁺");
+    }
+
+    #[test]
+    fn unknown_base_is_an_error() {
+        assert!(TarskiExpr::base("nope").eval(&catalog()).is_err());
+    }
+
+    // ---- property tests: Tarski's axioms on random finite relations ----
+
+    fn arb_rel() -> impl Strategy<Value = BinRel<u8>> {
+        proptest::collection::btree_set((0u8..12, 0u8..12), 0..40).prop_map(BinRel::from_pairs)
+    }
+
+    proptest! {
+        #[test]
+        fn composition_associative(r in arb_rel(), s in arb_rel(), t in arb_rel()) {
+            prop_assert_eq!(r.compose(&s).compose(&t), r.compose(&s.compose(&t)));
+        }
+
+        #[test]
+        fn converse_involution(r in arb_rel()) {
+            prop_assert_eq!(r.converse().converse(), r);
+        }
+
+        #[test]
+        fn converse_antidistribution(r in arb_rel(), s in arb_rel()) {
+            prop_assert_eq!(
+                r.compose(&s).converse(),
+                s.converse().compose(&r.converse())
+            );
+        }
+
+        #[test]
+        fn composition_distributes_over_union(r in arb_rel(), s in arb_rel(), t in arb_rel()) {
+            prop_assert_eq!(
+                r.compose(&s.union(&t)),
+                r.compose(&s).union(&r.compose(&t))
+            );
+        }
+
+        #[test]
+        fn closure_is_idempotent_and_transitive(r in arb_rel()) {
+            let tc = r.transitive_closure();
+            prop_assert_eq!(tc.transitive_closure(), tc.clone());
+            // transitivity: tc;tc ⊆ tc
+            let composed = tc.compose(&tc);
+            prop_assert_eq!(composed.difference(&tc).len(), 0);
+        }
+
+        #[test]
+        fn identity_neutral(r in arb_rel()) {
+            let id = BinRel::identity(0u8..12);
+            prop_assert_eq!(id.compose(&r), r.clone());
+            prop_assert_eq!(r.compose(&id), r);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Binary relations with the Tarski operations.
+//!
+//! Generic over the atom type so the algebra can be unit-tested on
+//! integers while the GOOD store uses `good_graph::NodeId` atoms.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// A finite binary relation over atoms `A`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinRel<A: Ord + Clone> {
+    pairs: BTreeSet<(A, A)>,
+}
+
+impl<A: Ord + Clone> Default for BinRel<A> {
+    fn default() -> Self {
+        BinRel::new()
+    }
+}
+
+impl<A: Ord + Clone> BinRel<A> {
+    /// The empty relation.
+    pub fn new() -> Self {
+        BinRel {
+            pairs: BTreeSet::new(),
+        }
+    }
+
+    /// Build from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (A, A)>) -> Self {
+        BinRel {
+            pairs: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The identity relation over `atoms` (a *coreflexive* when `atoms`
+    /// is a subset of the universe — Tarski's device for representing
+    /// unary predicates such as GOOD's class membership).
+    pub fn identity(atoms: impl IntoIterator<Item = A>) -> Self {
+        BinRel {
+            pairs: atoms.into_iter().map(|a| (a.clone(), a)).collect(),
+        }
+    }
+
+    /// Insert a pair; returns false if already present.
+    pub fn insert(&mut self, src: A, dst: A) -> bool {
+        self.pairs.insert((src, dst))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, src: &A, dst: &A) -> bool {
+        self.pairs.contains(&(src.clone(), dst.clone()))
+    }
+
+    /// Iterate over the pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(A, A)> {
+        self.pairs.iter()
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// `R ∪ S`.
+    pub fn union(&self, other: &Self) -> Self {
+        BinRel {
+            pairs: self.pairs.union(&other.pairs).cloned().collect(),
+        }
+    }
+
+    /// `R ∩ S`.
+    pub fn intersect(&self, other: &Self) -> Self {
+        BinRel {
+            pairs: self.pairs.intersection(&other.pairs).cloned().collect(),
+        }
+    }
+
+    /// `R − S`.
+    pub fn difference(&self, other: &Self) -> Self {
+        BinRel {
+            pairs: self.pairs.difference(&other.pairs).cloned().collect(),
+        }
+    }
+
+    /// The converse `R⁻¹`.
+    pub fn converse(&self) -> Self {
+        BinRel {
+            pairs: self
+                .pairs
+                .iter()
+                .map(|(a, b)| (b.clone(), a.clone()))
+                .collect(),
+        }
+    }
+
+    /// Relative product (composition) `R ; S` — the workhorse of path
+    /// expressions: `(a, c) ∈ R;S` iff `∃b. (a,b) ∈ R ∧ (b,c) ∈ S`.
+    /// Hash-join on the middle atom.
+    pub fn compose(&self, other: &Self) -> Self {
+        let mut by_src: BTreeMap<&A, Vec<&A>> = BTreeMap::new();
+        for (b, c) in &other.pairs {
+            by_src.entry(b).or_default().push(c);
+        }
+        let mut out = BTreeSet::new();
+        for (a, b) in &self.pairs {
+            if let Some(cs) = by_src.get(b) {
+                for c in cs {
+                    out.insert((a.clone(), (*c).clone()));
+                }
+            }
+        }
+        BinRel { pairs: out }
+    }
+
+    /// The domain (set of first components) as a coreflexive.
+    pub fn domain(&self) -> Self {
+        BinRel {
+            pairs: self
+                .pairs
+                .iter()
+                .map(|(a, _)| (a.clone(), a.clone()))
+                .collect(),
+        }
+    }
+
+    /// The range (set of second components) as a coreflexive.
+    pub fn range(&self) -> Self {
+        BinRel {
+            pairs: self
+                .pairs
+                .iter()
+                .map(|(_, b)| (b.clone(), b.clone()))
+                .collect(),
+        }
+    }
+
+    /// Transitive closure `R⁺` (semi-naive iteration).
+    pub fn transitive_closure(&self) -> Self {
+        let mut closure = self.clone();
+        let mut delta = self.clone();
+        while !delta.is_empty() {
+            let next = delta.compose(self);
+            let fresh: BTreeSet<(A, A)> = next.pairs.difference(&closure.pairs).cloned().collect();
+            if fresh.is_empty() {
+                break;
+            }
+            closure.pairs.extend(fresh.iter().cloned());
+            delta = BinRel { pairs: fresh };
+        }
+        closure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(pairs: &[(u32, u32)]) -> BinRel<u32> {
+        BinRel::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn set_operations() {
+        let r = rel(&[(1, 2), (2, 3)]);
+        let s = rel(&[(2, 3), (3, 4)]);
+        assert_eq!(r.union(&s).len(), 3);
+        assert_eq!(r.intersect(&s), rel(&[(2, 3)]));
+        assert_eq!(r.difference(&s), rel(&[(1, 2)]));
+    }
+
+    #[test]
+    fn converse_is_involutive() {
+        let r = rel(&[(1, 2), (3, 4)]);
+        assert_eq!(r.converse().converse(), r);
+        assert!(r.converse().contains(&2, &1));
+    }
+
+    #[test]
+    fn composition() {
+        let r = rel(&[(1, 2), (2, 3)]);
+        let s = rel(&[(2, 10), (3, 11)]);
+        assert_eq!(r.compose(&s), rel(&[(1, 10), (2, 11)]));
+    }
+
+    #[test]
+    fn composition_is_associative() {
+        let r = rel(&[(1, 2), (2, 3), (1, 3)]);
+        let s = rel(&[(2, 4), (3, 5)]);
+        let t = rel(&[(4, 6), (5, 7)]);
+        assert_eq!(r.compose(&s).compose(&t), r.compose(&s.compose(&t)));
+    }
+
+    #[test]
+    fn identity_is_neutral_for_composition() {
+        let r = rel(&[(1, 2), (2, 3)]);
+        let id = BinRel::identity(1..=3);
+        assert_eq!(id.compose(&r), r);
+        assert_eq!(r.compose(&id), r);
+    }
+
+    #[test]
+    fn converse_antidistributes_over_composition() {
+        // (R;S)⁻¹ = S⁻¹;R⁻¹ — one of Tarski's axioms.
+        let r = rel(&[(1, 2), (2, 3), (1, 3)]);
+        let s = rel(&[(2, 4), (3, 4), (3, 5)]);
+        assert_eq!(
+            r.compose(&s).converse(),
+            s.converse().compose(&r.converse())
+        );
+    }
+
+    #[test]
+    fn coreflexive_restriction() {
+        // Restricting a relation's domain via a coreflexive.
+        let r = rel(&[(1, 2), (2, 3), (3, 4)]);
+        let only_odd = BinRel::identity([1, 3]);
+        assert_eq!(only_odd.compose(&r), rel(&[(1, 2), (3, 4)]));
+    }
+
+    #[test]
+    fn domain_and_range() {
+        let r = rel(&[(1, 2), (1, 3)]);
+        assert_eq!(r.domain(), BinRel::identity([1]));
+        assert_eq!(r.range(), BinRel::identity([2, 3]));
+    }
+
+    #[test]
+    fn transitive_closure_of_chain_and_cycle() {
+        let chain = rel(&[(1, 2), (2, 3), (3, 4)]);
+        let tc = chain.transitive_closure();
+        assert_eq!(tc.len(), 6);
+        assert!(tc.contains(&1, &4));
+        assert!(!tc.contains(&1, &1));
+
+        let cycle = rel(&[(1, 2), (2, 1)]);
+        let tc = cycle.transitive_closure();
+        assert!(tc.contains(&1, &1) && tc.contains(&2, &2));
+        assert_eq!(tc.len(), 4);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let empty: BinRel<u32> = BinRel::new();
+        let r = rel(&[(1, 2)]);
+        assert!(empty.compose(&r).is_empty());
+        assert!(r.compose(&empty).is_empty());
+        assert!(empty.transitive_closure().is_empty());
+        assert_eq!(r.union(&empty), r);
+    }
+}

@@ -1,0 +1,37 @@
+//! `good-tarski` — the Tarski Data Model backend for GOOD (Section 5).
+//!
+//! The paper's concluding remarks describe the Indiana University
+//! implementation route: "a binary relational model, called the Tarski
+//! Data Model, is used to store and compute with GOOD databases. The
+//! model includes its own (binary) relational algebra, which is
+//! inspired by Tarski's work" (paper reference 27).
+//!
+//! This crate rebuilds that route from scratch:
+//!
+//! * [`binrel`] — binary relations with the Tarski operations (union,
+//!   intersection, difference, relative product/composition, converse,
+//!   identity and coreflexive restriction, transitive closure);
+//! * [`algebra`] — an expression language over named binary relations
+//!   plus an evaluator, with the classical algebraic laws property-
+//!   tested;
+//! * [`store`] — a GOOD instance decomposed into binary relations: one
+//!   relation per edge label, one coreflexive per class, one
+//!   coreflexive per printable constant;
+//! * [`backend`] — pattern matching over the store: every pattern edge
+//!   compiles to a Tarski expression (class-coreflexive ; edge ;
+//!   class-coreflexive), and the conjunctive query over those edge
+//!   relations is solved by a variable join. Differentially tested
+//!   against `good_core::matching` and raced in benchmark E7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod backend;
+pub mod binrel;
+pub mod store;
+
+pub use algebra::TarskiExpr;
+pub use backend::TarskiBackend;
+pub use binrel::BinRel;
+pub use store::TarskiStore;

@@ -1,0 +1,229 @@
+//! Encoding Turing machine configurations as GOOD object bases.
+//!
+//! The tape is a doubly linked chain of `Cell` objects (`left`/`right`
+//! functional edges) whose contents are `symbol` edges into the
+//! printable class `Sym`. A single `TM` object carries the control
+//! state (`state` edge into the printable class `CtlState`), the head
+//! position (`head` edge) and an immutable `origin` edge to the cell
+//! that held position 0 of the input — the anchor that lets
+//! [`decode_config`] recover absolute positions.
+//!
+//! All symbols and state names the machine can ever use are pre-seeded
+//! as printable nodes, because GOOD's transformation language never
+//! creates printable nodes ("printable nodes are system-defined").
+
+use crate::machine::{Config, Machine};
+use good_core::error::{GoodError, Result};
+use good_core::instance::Instance;
+use good_core::label::Label;
+use good_core::scheme::{Scheme, SchemeBuilder};
+use good_core::value::{Value, ValueType};
+use good_graph::NodeId;
+use std::collections::BTreeMap;
+
+/// Handles into an encoded configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TmHandles {
+    /// The machine object.
+    pub tm: NodeId,
+    /// The cell that was position 0 at encoding time.
+    pub origin: NodeId,
+}
+
+/// The tape scheme.
+pub fn tm_scheme() -> Scheme {
+    SchemeBuilder::new()
+        .object("Cell")
+        .object("TM")
+        .printable("Sym", ValueType::Str)
+        .printable("CtlState", ValueType::Str)
+        .functional("Cell", "symbol", "Sym")
+        .functional("Cell", "right", "Cell")
+        .functional("Cell", "left", "Cell")
+        .functional("TM", "state", "CtlState")
+        .functional("TM", "head", "Cell")
+        .functional("TM", "origin", "Cell")
+        .build()
+}
+
+/// The `Sym` printable for a tape symbol.
+pub fn sym_value(symbol: char) -> Value {
+    Value::str(symbol.to_string())
+}
+
+/// Encode the initial configuration of `machine` on `input`.
+pub fn encode_config(machine: &Machine, input: &str) -> Result<(Instance, TmHandles)> {
+    let mut db = Instance::new(tm_scheme());
+
+    // Pre-seed the whole alphabet and state space.
+    for symbol in machine.alphabet(input) {
+        db.add_printable("Sym", sym_value(symbol))?;
+    }
+    for state in machine.states() {
+        db.add_printable("CtlState", state.as_str())?;
+    }
+
+    // The tape: one cell per input character; at least one cell.
+    let contents: Vec<char> = if input.is_empty() {
+        vec![machine.blank]
+    } else {
+        input.chars().collect()
+    };
+    let mut previous: Option<NodeId> = None;
+    let mut origin = None;
+    for symbol in &contents {
+        let cell = db.add_object("Cell")?;
+        let sym = db.add_printable("Sym", sym_value(*symbol))?;
+        db.add_edge(cell, "symbol", sym)?;
+        if let Some(prev) = previous {
+            db.add_edge(prev, "right", cell)?;
+            db.add_edge(cell, "left", prev)?;
+        }
+        if origin.is_none() {
+            origin = Some(cell);
+        }
+        previous = Some(cell);
+    }
+    let origin = origin.expect("at least one cell");
+
+    let tm = db.add_object("TM")?;
+    let state = db.add_printable("CtlState", machine.start.as_str())?;
+    db.add_edge(tm, "state", state)?;
+    db.add_edge(tm, "head", origin)?;
+    db.add_edge(tm, "origin", origin)?;
+    Ok((db, TmHandles { tm, origin }))
+}
+
+/// Decode the configuration stored in `db` (relative to the `origin`
+/// anchor). `blank` cells are elided from the sparse tape.
+pub fn decode_config(db: &Instance, blank: char) -> Result<Config> {
+    let tm = db
+        .nodes_with_label(&Label::new("TM"))
+        .next()
+        .ok_or_else(|| GoodError::InvariantViolation("no TM object".into()))?;
+    let state_node = db
+        .functional_target(tm, &Label::new("state"))
+        .ok_or_else(|| GoodError::InvariantViolation("TM lacks a state".into()))?;
+    let state = match db.print_value(state_node).and_then(|v| v.as_str()) {
+        Some(text) => text.to_string(),
+        None => {
+            return Err(GoodError::InvariantViolation(
+                "state is not a string".into(),
+            ))
+        }
+    };
+    let head_cell = db
+        .functional_target(tm, &Label::new("head"))
+        .ok_or_else(|| GoodError::InvariantViolation("TM lacks a head".into()))?;
+    let origin = db
+        .functional_target(tm, &Label::new("origin"))
+        .ok_or_else(|| GoodError::InvariantViolation("TM lacks an origin".into()))?;
+
+    // Assign positions by walking from the origin.
+    let left = Label::new("left");
+    let right = Label::new("right");
+    let mut positions: BTreeMap<NodeId, i64> = BTreeMap::new();
+    positions.insert(origin, 0);
+    let mut cursor = origin;
+    let mut pos = 0i64;
+    while let Some(next) = db.functional_target(cursor, &left) {
+        pos -= 1;
+        positions.insert(next, pos);
+        cursor = next;
+    }
+    cursor = origin;
+    pos = 0;
+    while let Some(next) = db.functional_target(cursor, &right) {
+        pos += 1;
+        positions.insert(next, pos);
+        cursor = next;
+    }
+
+    let symbol_label = Label::new("symbol");
+    let mut tape = BTreeMap::new();
+    for (cell, position) in &positions {
+        let sym_node = db.functional_target(*cell, &symbol_label).ok_or_else(|| {
+            GoodError::InvariantViolation(format!("cell {cell:?} lacks a symbol"))
+        })?;
+        let text = db
+            .print_value(sym_node)
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| GoodError::InvariantViolation("symbol is not a string".into()))?;
+        let symbol = text.chars().next().unwrap_or(blank);
+        if symbol != blank {
+            tape.insert(*position, symbol);
+        }
+    }
+
+    let head = *positions.get(&head_cell).ok_or_else(|| {
+        GoodError::InvariantViolation("head cell is not connected to the origin".into())
+    })?;
+
+    Ok(Config { state, tape, head })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::binary_increment;
+
+    #[test]
+    fn encode_matches_initial_config() {
+        let machine = binary_increment();
+        let (db, _) = encode_config(&machine, "101").unwrap();
+        db.validate().unwrap();
+        let decoded = decode_config(&db, machine.blank).unwrap();
+        assert_eq!(decoded, machine.initial("101"));
+    }
+
+    #[test]
+    fn empty_input_still_has_one_cell() {
+        let machine = binary_increment();
+        let (db, handles) = encode_config(&machine, "").unwrap();
+        assert_eq!(db.label_count(&Label::new("Cell")), 1);
+        let decoded = decode_config(&db, machine.blank).unwrap();
+        assert!(decoded.tape.is_empty());
+        assert_eq!(decoded.head, 0);
+        assert!(db.contains_node(handles.origin));
+    }
+
+    #[test]
+    fn alphabet_and_states_preseeded() {
+        let machine = binary_increment();
+        let (db, _) = encode_config(&machine, "01").unwrap();
+        for symbol in machine.alphabet("01") {
+            assert!(
+                db.find_printable(&Label::new("Sym"), &sym_value(symbol))
+                    .is_some(),
+                "{symbol} missing"
+            );
+        }
+        for state in machine.states() {
+            assert!(db
+                .find_printable(&Label::new("CtlState"), &Value::str(state.as_str()))
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn cells_are_doubly_linked() {
+        let machine = binary_increment();
+        let (db, handles) = encode_config(&machine, "10").unwrap();
+        let right = db
+            .functional_target(handles.origin, &Label::new("right"))
+            .unwrap();
+        assert_eq!(
+            db.functional_target(right, &Label::new("left")),
+            Some(handles.origin)
+        );
+    }
+
+    #[test]
+    fn blank_cells_elide_from_decoded_tape() {
+        let machine = binary_increment();
+        let (db, _) = encode_config(&machine, "1_1").unwrap();
+        let decoded = decode_config(&db, machine.blank).unwrap();
+        assert_eq!(decoded.tape.len(), 2);
+        assert!(!decoded.tape.contains_key(&1));
+    }
+}

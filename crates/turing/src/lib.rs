@@ -1,0 +1,37 @@
+//! `good-turing` — Turing machines and their GOOD simulation
+//! (Section 4.3, theorem T3).
+//!
+//! "The full language with methods is sufficiently strong to simulate
+//! arbitrary Turing Machines; this can be shown using well-known
+//! techniques." This crate carries out that construction:
+//!
+//! * [`machine`] — a deterministic single-tape Turing machine
+//!   interpreter (the ground truth), plus sample machines (binary
+//!   increment, unary addition, palindrome recognition, a deliberate
+//!   diverger);
+//! * [`encode`] — configurations as GOOD graphs: a doubly-linked chain
+//!   of `Cell` objects with `symbol` edges into a printable alphabet, a
+//!   `TM` object holding `state` and `head` edges, and an immutable
+//!   `origin` anchor for decoding absolute positions;
+//! * [`compile`] — each transition rule becomes a block of basic
+//!   operations (guarded by a rule-specific `Apply` tag, with on-demand
+//!   tape extension through crossed patterns), and the whole step
+//!   relation becomes a *recursive GOOD method* whose stopping
+//!   condition is the absence of an applicable rule — exactly the
+//!   paper's method-based recursion (Figures 22/29 style).
+//!
+//! The equivalence tests run every sample machine through both the
+//! interpreter and the GOOD simulation and compare final
+//! configurations; the diverger checks that the fuel bound catches
+//! non-termination.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod encode;
+pub mod machine;
+
+pub use compile::{run_in_good, step_method};
+pub use encode::{decode_config, encode_config, TmHandles};
+pub use machine::{Config, Machine, Move, Outcome, Rule};

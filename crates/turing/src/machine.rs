@@ -1,0 +1,471 @@
+//! A deterministic single-tape Turing machine interpreter.
+//!
+//! This is the substrate against which the GOOD simulation is checked.
+//! The tape is unbounded in both directions; absent cells read as the
+//! blank symbol. A machine halts when no rule covers the current
+//! (state, symbol) pair.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// One transition rule: in `state` reading `read`, write `write`, move
+/// and switch to `next`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Current state.
+    pub state: String,
+    /// Symbol under the head.
+    pub read: char,
+    /// Symbol to write.
+    pub write: char,
+    /// Head movement.
+    pub movement: Move,
+    /// Next state.
+    pub next: String,
+}
+
+/// A deterministic Turing machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The blank symbol.
+    pub blank: char,
+    /// Initial state.
+    pub start: String,
+    rules: BTreeMap<(String, char), Rule>,
+}
+
+impl Machine {
+    /// Build a machine; duplicate (state, read) pairs are a programming
+    /// error (the machine must be deterministic).
+    ///
+    /// # Panics
+    /// Panics on duplicate rules.
+    pub fn new(
+        blank: char,
+        start: impl Into<String>,
+        rules: impl IntoIterator<Item = Rule>,
+    ) -> Self {
+        let mut map = BTreeMap::new();
+        for rule in rules {
+            let key = (rule.state.clone(), rule.read);
+            assert!(
+                map.insert(key, rule).is_none(),
+                "duplicate rule: machine must be deterministic"
+            );
+        }
+        Machine {
+            blank,
+            start: start.into(),
+            rules: map,
+        }
+    }
+
+    /// The rules, in deterministic order.
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.values()
+    }
+
+    /// Every symbol the machine can ever see or write (including blank
+    /// and the given input alphabet).
+    pub fn alphabet(&self, input: &str) -> Vec<char> {
+        let mut out: Vec<char> = input.chars().collect();
+        out.push(self.blank);
+        for rule in self.rules.values() {
+            out.push(rule.read);
+            out.push(rule.write);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every state name (start + rule states).
+    pub fn states(&self) -> Vec<String> {
+        let mut out = vec![self.start.clone()];
+        for rule in self.rules.values() {
+            out.push(rule.state.clone());
+            out.push(rule.next.clone());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The rule for (state, symbol), if any.
+    pub fn rule(&self, state: &str, read: char) -> Option<&Rule> {
+        self.rules.get(&(state.to_string(), read))
+    }
+
+    /// The initial configuration on `input` (head at position 0).
+    pub fn initial(&self, input: &str) -> Config {
+        let mut tape = BTreeMap::new();
+        for (offset, symbol) in input.chars().enumerate() {
+            if symbol != self.blank {
+                tape.insert(offset as i64, symbol);
+            }
+        }
+        Config {
+            state: self.start.clone(),
+            tape,
+            head: 0,
+        }
+    }
+
+    /// Run one step; `None` when halted.
+    pub fn step(&self, config: &Config) -> Option<Config> {
+        let read = config.read(self.blank);
+        let rule = self.rule(&config.state, read)?;
+        let mut next = config.clone();
+        if rule.write == self.blank {
+            next.tape.remove(&config.head);
+        } else {
+            next.tape.insert(config.head, rule.write);
+        }
+        next.head += match rule.movement {
+            Move::Left => -1,
+            Move::Right => 1,
+            Move::Stay => 0,
+        };
+        next.state = rule.next.clone();
+        Some(next)
+    }
+
+    /// Run until halt or `max_steps`.
+    pub fn run(&self, input: &str, max_steps: usize) -> Outcome {
+        let mut config = self.initial(input);
+        for steps in 0..=max_steps {
+            match self.step(&config) {
+                Some(next) => config = next,
+                None => return Outcome::Halted { config, steps },
+            }
+        }
+        Outcome::OutOfSteps(config)
+    }
+}
+
+/// A machine configuration: state, sparse tape (blanks elided), head
+/// position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Current state.
+    pub state: String,
+    /// Non-blank tape cells by absolute position.
+    pub tape: BTreeMap<i64, char>,
+    /// Head position.
+    pub head: i64,
+}
+
+impl Config {
+    /// The symbol under the head.
+    pub fn read(&self, blank: char) -> char {
+        self.tape.get(&self.head).copied().unwrap_or(blank)
+    }
+
+    /// The tape contents between the extreme non-blank cells, as a
+    /// string (blank-filled gaps), plus the leftmost position. Empty
+    /// tape renders as an empty string at position 0.
+    pub fn tape_window(&self, blank: char) -> (i64, String) {
+        let (Some((&lo, _)), Some((&hi, _))) =
+            (self.tape.iter().next(), self.tape.iter().next_back())
+        else {
+            return (0, String::new());
+        };
+        let text = (lo..=hi)
+            .map(|pos| self.tape.get(&pos).copied().unwrap_or(blank))
+            .collect();
+        (lo, text)
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, text) = self.tape_window('_');
+        write!(
+            f,
+            "state={} head={} tape[{}..]={text:?}",
+            self.state, self.head, lo
+        )
+    }
+}
+
+/// Result of a bounded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The machine halted.
+    Halted {
+        /// The halting configuration.
+        config: Config,
+        /// Steps taken.
+        steps: usize,
+    },
+    /// The step budget ran out.
+    OutOfSteps(Config),
+}
+
+// ---- sample machines -------------------------------------------------------
+
+/// Binary increment: tape holds a binary number (MSB first), head at
+/// its leftmost bit; the machine adds one and halts in state `done`.
+pub fn binary_increment() -> Machine {
+    let rule = |state: &str, read, write, movement, next: &str| Rule {
+        state: state.into(),
+        read,
+        write,
+        movement,
+        next: next.into(),
+    };
+    Machine::new(
+        '_',
+        "right",
+        [
+            // Seek the rightmost bit.
+            rule("right", '0', '0', Move::Right, "right"),
+            rule("right", '1', '1', Move::Right, "right"),
+            rule("right", '_', '_', Move::Left, "carry"),
+            // Add with carry.
+            rule("carry", '1', '0', Move::Left, "carry"),
+            rule("carry", '0', '1', Move::Left, "done"),
+            rule("carry", '_', '1', Move::Left, "done"),
+        ],
+    )
+}
+
+/// Unary addition: `1..1+1..1` becomes the sum block of ones.
+pub fn unary_addition() -> Machine {
+    let rule = |state: &str, read, write, movement, next: &str| Rule {
+        state: state.into(),
+        read,
+        write,
+        movement,
+        next: next.into(),
+    };
+    Machine::new(
+        '_',
+        "scan",
+        [
+            // Replace '+' by '1', then chop the last '1'.
+            rule("scan", '1', '1', Move::Right, "scan"),
+            rule("scan", '+', '1', Move::Right, "to-end"),
+            rule("to-end", '1', '1', Move::Right, "to-end"),
+            rule("to-end", '_', '_', Move::Left, "chop"),
+            rule("chop", '1', '_', Move::Left, "done"),
+        ],
+    )
+}
+
+/// Palindrome recognition over {a, b}: halts in state `yes` or `no`.
+pub fn palindrome() -> Machine {
+    let rule = |state: &str, read, write, movement, next: &str| Rule {
+        state: state.into(),
+        read,
+        write,
+        movement,
+        next: next.into(),
+    };
+    Machine::new(
+        '_',
+        "start",
+        [
+            // Consume the first symbol, remember it.
+            rule("start", 'a', '_', Move::Right, "have-a"),
+            rule("start", 'b', '_', Move::Right, "have-b"),
+            rule("start", '_', '_', Move::Stay, "yes"),
+            // Run to the end.
+            rule("have-a", 'a', 'a', Move::Right, "have-a"),
+            rule("have-a", 'b', 'b', Move::Right, "have-a"),
+            rule("have-a", '_', '_', Move::Left, "check-a"),
+            rule("have-b", 'a', 'a', Move::Right, "have-b"),
+            rule("have-b", 'b', 'b', Move::Right, "have-b"),
+            rule("have-b", '_', '_', Move::Left, "check-b"),
+            // Check and consume the last symbol.
+            rule("check-a", 'a', '_', Move::Left, "rewind"),
+            rule("check-a", 'b', 'b', Move::Stay, "no"),
+            rule("check-a", '_', '_', Move::Stay, "yes"),
+            rule("check-b", 'b', '_', Move::Left, "rewind"),
+            rule("check-b", 'a', 'a', Move::Stay, "no"),
+            rule("check-b", '_', '_', Move::Stay, "yes"),
+            // Rewind to the first remaining symbol.
+            rule("rewind", 'a', 'a', Move::Left, "rewind"),
+            rule("rewind", 'b', 'b', Move::Left, "rewind"),
+            rule("rewind", '_', '_', Move::Right, "start"),
+        ],
+    )
+}
+
+/// The 3-state, 2-symbol busy beaver (Lin & Rado): leaves six ones on
+/// the tape — a classic stress case because it shuttles over freshly
+/// extended tape in both directions. (Step counts in the literature
+/// include the explicit HALT transition; here halting is rule absence.)
+pub fn busy_beaver3() -> Machine {
+    let rule = |state: &str, read, write, movement, next: &str| Rule {
+        state: state.into(),
+        read,
+        write,
+        movement,
+        next: next.into(),
+    };
+    Machine::new(
+        '_',
+        "A",
+        [
+            rule("A", '_', '1', Move::Right, "B"),
+            rule("A", '1', '1', Move::Left, "C"),
+            rule("B", '_', '1', Move::Left, "A"),
+            rule("B", '1', '1', Move::Right, "B"),
+            rule("C", '_', '1', Move::Left, "B"),
+            // ("C", '1') has no rule: halt.
+        ],
+    )
+}
+
+/// A machine that never halts (shuttles right forever).
+pub fn diverger() -> Machine {
+    Machine::new(
+        '_',
+        "go",
+        [Rule {
+            state: "go".into(),
+            read: '_',
+            write: '_',
+            movement: Move::Right,
+            next: "go".into(),
+        }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn halt(machine: &Machine, input: &str) -> Config {
+        match machine.run(input, 10_000) {
+            Outcome::Halted { config, .. } => config,
+            Outcome::OutOfSteps(config) => panic!("did not halt: {config}"),
+        }
+    }
+
+    #[test]
+    fn binary_increment_cases() {
+        let machine = binary_increment();
+        for (input, expected) in [
+            ("0", "1"),
+            ("1", "10"),
+            ("1011", "1100"),
+            ("111", "1000"),
+            ("0000", "0001"),
+        ] {
+            let config = halt(&machine, input);
+            let (_, tape) = config.tape_window('_');
+            assert_eq!(tape, expected, "increment({input})");
+            assert_eq!(config.state, "done");
+        }
+    }
+
+    #[test]
+    fn unary_addition_cases() {
+        let machine = unary_addition();
+        for (input, ones) in [("1+1", 2), ("111+11", 5), ("1+111", 4)] {
+            let config = halt(&machine, input);
+            let (_, tape) = config.tape_window('_');
+            assert_eq!(tape, "1".repeat(ones), "sum({input})");
+        }
+    }
+
+    #[test]
+    fn palindrome_cases() {
+        let machine = palindrome();
+        for (input, verdict) in [
+            ("", "yes"),
+            ("a", "yes"),
+            ("ab", "no"),
+            ("aba", "yes"),
+            ("abba", "yes"),
+            ("aabbaa", "yes"),
+            ("aab", "no"),
+            ("baab", "yes"),
+            ("babb", "no"),
+        ] {
+            let config = halt(&machine, input);
+            assert_eq!(config.state, verdict, "palindrome({input:?})");
+        }
+    }
+
+    #[test]
+    fn busy_beaver3_halts_with_six_ones() {
+        match busy_beaver3().run("", 100) {
+            Outcome::Halted { config, steps } => {
+                // The canonical "14 steps" counts the explicit transition
+                // into a HALT state; we model halting as rule absence, so
+                // the final configuration is reached after 12 writes plus
+                // the detected halt.
+                assert_eq!(steps, 12);
+                assert_eq!(config.tape.values().filter(|&&c| c == '1').count(), 6);
+            }
+            Outcome::OutOfSteps(config) => panic!("did not halt: {config}"),
+        }
+    }
+
+    #[test]
+    fn diverger_runs_out_of_steps() {
+        assert!(matches!(diverger().run("", 100), Outcome::OutOfSteps(_)));
+    }
+
+    #[test]
+    fn step_returns_none_on_halt() {
+        let machine = binary_increment();
+        let config = halt(&machine, "1");
+        assert!(machine.step(&config).is_none());
+    }
+
+    #[test]
+    fn blank_writes_shrink_the_sparse_tape() {
+        let machine = unary_addition();
+        let config = halt(&machine, "1+1");
+        // The chopped trailing one must not linger as an explicit cell.
+        assert!(config.tape.values().all(|&c| c != '_'));
+    }
+
+    #[test]
+    fn alphabet_and_states() {
+        let machine = binary_increment();
+        assert_eq!(machine.alphabet("10"), vec!['0', '1', '_']);
+        let states = machine.states();
+        assert!(states.contains(&"carry".to_string()));
+        assert!(states.contains(&"done".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic")]
+    fn duplicate_rules_rejected() {
+        let rule = Rule {
+            state: "s".into(),
+            read: 'x',
+            write: 'x',
+            movement: Move::Stay,
+            next: "s".into(),
+        };
+        Machine::new('_', "s", [rule.clone(), rule]);
+    }
+
+    #[test]
+    fn tape_window_of_empty_tape() {
+        let machine = binary_increment();
+        let config = Config {
+            state: machine.start.clone(),
+            tape: BTreeMap::new(),
+            head: 5,
+        };
+        assert_eq!(config.tape_window('_'), (0, String::new()));
+    }
+}

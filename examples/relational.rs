@@ -1,0 +1,80 @@
+//! Relational completeness in action (Section 4.3): model an employee
+//! database, run an algebra query both natively and as a compiled GOOD
+//! program, and check they agree.
+//!
+//! Run with `cargo run --example relational`.
+
+use good::model::error::Result;
+use good::model::program::Env;
+use good::relational::algebra::Predicate;
+use good::relational::compile::Compiler;
+use good::relational::encode::{decode, encode};
+use good::relational::relation::{RelDatabase, RelSchema, Relation};
+use good::relational::RelExpr;
+use good_core::value::{Value, ValueType};
+
+fn main() -> Result<()> {
+    // ---- a small company database --------------------------------------
+    let mut emp = Relation::new(RelSchema::new([
+        ("name", ValueType::Str),
+        ("dept", ValueType::Str),
+        ("salary", ValueType::Int),
+    ]));
+    emp.extend([
+        vec![Value::str("ann"), Value::str("db"), Value::int(95)],
+        vec![Value::str("bob"), Value::str("os"), Value::int(80)],
+        vec![Value::str("cal"), Value::str("db"), Value::int(85)],
+        vec![Value::str("dee"), Value::str("pl"), Value::int(90)],
+    ])
+    .unwrap();
+    let mut dept = Relation::new(RelSchema::new([
+        ("dept", ValueType::Str),
+        ("head", ValueType::Str),
+    ]));
+    dept.extend([
+        vec![Value::str("db"), Value::str("ann")],
+        vec![Value::str("os"), Value::str("bob")],
+        vec![Value::str("pl"), Value::str("dee")],
+    ])
+    .unwrap();
+    let mut db = RelDatabase::new();
+    db.add("emp", emp);
+    db.add("dept", dept);
+
+    // ---- the query: non-head db employees --------------------------------
+    let query = RelExpr::base("emp")
+        .join(RelExpr::base("dept"))
+        .select(Predicate::AttrEqConst("dept".into(), Value::str("db")))
+        .project(["name", "head"])
+        .difference(
+            RelExpr::base("dept")
+                .project(["head"])
+                .rename([("head", "name")])
+                .product(RelExpr::base("dept").project(["head"])),
+        );
+
+    // Native evaluation.
+    let native = query.eval(&db)?;
+    println!("--- native relational algebra ---\n{native}");
+
+    // GOOD evaluation: encode → compile → run → decode.
+    let mut instance = encode(&db)?;
+    println!(
+        "encoded as a GOOD instance: {} nodes, {} edges",
+        instance.node_count(),
+        instance.edge_count()
+    );
+    let compiled = Compiler::new().compile(&query, &db)?;
+    println!(
+        "compiled to a GOOD program of {} operations:\n{}",
+        compiled.program.len(),
+        compiled.program
+    );
+    compiled.program.apply(&mut instance, &mut Env::new())?;
+    let simulated = decode(&instance, &compiled.class, &compiled.schema)?;
+    println!("--- via GOOD simulation ---\n{simulated}");
+
+    assert_eq!(native, simulated, "Codd completeness holds");
+    println!("native and GOOD agree — relational completeness demonstrated");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! `good` — facade crate for the GOOD reproduction.
+//!
+//! Re-exports the whole workspace under one roof:
+//!
+//! * [`graph`] — generic labeled multigraph substrate;
+//! * [`model`] (from `good-core`) — schemes, instances, patterns, the five
+//!   basic operations, programs, methods and macros;
+//! * [`hypermedia`] — the paper's running example (Figures 1–31);
+//! * [`relational`] — relational & nested relational algebra plus the
+//!   completeness compilers (Section 4.3);
+//! * [`tarski`] — the Tarski binary-relation backend (Section 5);
+//! * [`turing`] — Turing machines and their GOOD simulation (Section 4.3);
+//! * [`store`] — journaled durable storage with crash recovery.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use good_core as model;
+pub use good_graph as graph;
+pub use good_hypermedia as hypermedia;
+pub use good_relational as relational;
+pub use good_store as store;
+pub use good_tarski as tarski;
+pub use good_turing as turing;
+
+/// Commonly used types, for `use good::prelude::*`.
+pub mod prelude {
+    pub use good_core::prelude::*;
+}
+
+// Compile-test the README's code examples as part of `cargo test`.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

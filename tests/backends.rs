@@ -1,0 +1,182 @@
+//! Differential testing of the four pattern-evaluation routes
+//! (DESIGN.md E7's correctness side):
+//!
+//! 1. the native backtracking matcher (`good_core::matching`),
+//! 2. the naive cross-product matcher (ground truth),
+//! 3. the Section 5 relational backend (`good_relational::backend`),
+//! 4. the Tarski binary-relation backend (`good_tarski`).
+//!
+//! All four must produce identical matchings on random instances and
+//! random positive patterns; the first two must also agree on patterns
+//! with crossed parts and predicates.
+
+use good::model::gen::{random_instance, GenConfig};
+use good::model::instance::Instance;
+use good::model::matching::{find_matchings, find_matchings_naive};
+use good::model::pattern::{Pattern, ValuePredicate};
+use good::model::value::Value;
+use good::relational::backend::RelBackend;
+use good::tarski::TarskiBackend;
+use good_graph::NodeId;
+use proptest::prelude::*;
+
+/// A random positive pattern over the bench scheme: a small core of
+/// Info nodes with random links-to edges plus optional date/name
+/// constraints.
+#[derive(Debug, Clone)]
+struct PatternSpec {
+    nodes: usize,
+    edges: Vec<(usize, usize)>,
+    with_date: bool,
+    named: Option<u8>,
+}
+
+fn arb_pattern_spec() -> impl Strategy<Value = PatternSpec> {
+    (
+        1usize..4,
+        proptest::collection::vec((0usize..4, 0usize..4), 0..4),
+        any::<bool>(),
+        proptest::option::of(0u8..30),
+    )
+        .prop_map(|(nodes, raw_edges, with_date, named)| {
+            let edges = raw_edges
+                .into_iter()
+                .map(|(a, b)| (a % nodes, b % nodes))
+                .collect();
+            PatternSpec {
+                nodes,
+                edges,
+                with_date,
+                named,
+            }
+        })
+}
+
+fn build_pattern(spec: &PatternSpec) -> (Pattern, Vec<NodeId>) {
+    let mut pattern = Pattern::new();
+    let nodes: Vec<NodeId> = (0..spec.nodes).map(|_| pattern.node("Info")).collect();
+    for (a, b) in &spec.edges {
+        // Avoid duplicating the same multivalued pattern edge (a
+        // pattern is an instance: edge sets are sets).
+        pattern.edge(nodes[*a], "links-to", nodes[*b]);
+    }
+    if spec.with_date {
+        let date = pattern.node("Date");
+        pattern.edge(nodes[0], "created", date);
+    }
+    if let Some(name_index) = spec.named {
+        let name = pattern.printable("String", format!("info-{name_index}"));
+        pattern.edge(nodes[0], "name", name);
+    }
+    (pattern, nodes)
+}
+
+fn all_backends_agree(pattern: &Pattern, db: &Instance) {
+    let native = find_matchings(pattern, db).unwrap();
+    let naive = find_matchings_naive(pattern, db).unwrap();
+    assert_eq!(native, naive, "native vs naive");
+    let relational = RelBackend::from_instance(db)
+        .match_pattern(pattern)
+        .unwrap();
+    assert_eq!(native, relational, "native vs relational backend");
+    let tarski = TarskiBackend::from_instance(db)
+        .match_pattern(pattern)
+        .unwrap();
+    assert_eq!(native, tarski, "native vs tarski backend");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn positive_patterns_agree_across_all_backends(
+        seed in 0u64..1000,
+        spec in arb_pattern_spec(),
+    ) {
+        let db = random_instance(&GenConfig {
+            infos: 20,
+            avg_links: 2.0,
+            distinct_dates: 3,
+            seed,
+        });
+        let (pattern, _) = build_pattern(&spec);
+        all_backends_agree(&pattern, &db);
+    }
+
+    #[test]
+    fn negation_agrees_between_planned_and_naive(
+        seed in 0u64..1000,
+        spec in arb_pattern_spec(),
+    ) {
+        let db = random_instance(&GenConfig {
+            infos: 12,
+            avg_links: 1.5,
+            distinct_dates: 3,
+            seed,
+        });
+        let (mut pattern, nodes) = build_pattern(&spec);
+        let sink = pattern.negated_node("Info");
+        pattern.negated_edge(nodes[0], "links-to", sink);
+        let planned = find_matchings(&pattern, &db).unwrap();
+        let naive = find_matchings_naive(&pattern, &db).unwrap();
+        prop_assert_eq!(planned, naive);
+    }
+
+    #[test]
+    fn predicates_agree_between_planned_and_naive(seed in 0u64..1000) {
+        let db = random_instance(&GenConfig {
+            infos: 25,
+            avg_links: 1.0,
+            distinct_dates: 8,
+            seed,
+        });
+        let mut pattern = Pattern::new();
+        let info = pattern.node("Info");
+        let date = pattern.predicate_node(
+            "Date",
+            ValuePredicate::Between(Value::date(1990, 1, 2), Value::date(1990, 1, 5)),
+        );
+        pattern.edge(info, "created", date);
+        let planned = find_matchings(&pattern, &db).unwrap();
+        let naive = find_matchings_naive(&pattern, &db).unwrap();
+        prop_assert_eq!(planned, naive);
+    }
+}
+
+#[test]
+fn hypermedia_patterns_agree_across_backends() {
+    let (db, _) = good::hypermedia::build_instance();
+    // Figure 4 (positive): all four routes.
+    let (pattern, _) = good::hypermedia::figures::fig4_pattern();
+    all_backends_agree(&pattern, &db);
+    // A deeper chain.
+    let mut pattern = Pattern::new();
+    let a = pattern.node("Info");
+    let b = pattern.node("Info");
+    let c = pattern.node("Info");
+    pattern.edge(a, "links-to", b);
+    pattern.edge(b, "links-to", c);
+    all_backends_agree(&pattern, &db);
+}
+
+#[test]
+fn macro_negation_agrees_with_matcher_negation_on_random_instances() {
+    use good::model::macros::negation::expand_negation;
+    use good::model::program::Env;
+    for seed in 0..6 {
+        let mut db = random_instance(&GenConfig {
+            infos: 15,
+            avg_links: 1.5,
+            distinct_dates: 3,
+            seed,
+        });
+        let mut pattern = Pattern::new();
+        let info = pattern.node("Info");
+        let other = pattern.negated_node("Info");
+        pattern.negated_edge(info, "links-to", other);
+        let direct = find_matchings(&pattern, &db).unwrap();
+        let expansion = expand_negation(&pattern, "Sink").unwrap();
+        let via_macro = expansion.evaluate(&mut db, &mut Env::new()).unwrap();
+        assert_eq!(via_macro, direct, "seed {seed}");
+    }
+}

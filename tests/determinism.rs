@@ -1,0 +1,186 @@
+//! Determinism and invariant-preservation properties.
+//!
+//! The paper: "All operations of the language are deterministic up to
+//! the particular choice of new objects." We check that running any
+//! operation sequence twice from equal instances yields isomorphic
+//! results, and that random operation sequences can never drive an
+//! instance out of its invariants.
+
+use good::model::gen::{random_instance, GenConfig};
+use good::model::instance::Instance;
+use good::model::label::Label;
+use good::model::ops::{Abstraction, EdgeAddition, NodeAddition, NodeDeletion};
+use good::model::pattern::Pattern;
+use good::model::program::{Env, Operation, Program};
+use proptest::prelude::*;
+
+/// A small op-sequence generator over the bench scheme.
+#[derive(Debug, Clone)]
+enum OpSpec {
+    TagInfos(u8),
+    LinkTagged(u8),
+    DeleteNamed(u8),
+    AbstractLinks(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<OpSpec>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..5).prop_map(OpSpec::TagInfos),
+            (0u8..5).prop_map(OpSpec::LinkTagged),
+            (0u8..20).prop_map(OpSpec::DeleteNamed),
+            (0u8..5).prop_map(OpSpec::AbstractLinks),
+        ],
+        1..6,
+    )
+}
+
+fn to_operation(spec: &OpSpec) -> Operation {
+    match spec {
+        OpSpec::TagInfos(k) => {
+            let mut p = Pattern::new();
+            let info = p.node("Info");
+            let date = p.node("Date");
+            p.edge(info, "created", date);
+            Operation::NodeAdd(NodeAddition::new(
+                p,
+                format!("Tag{k}").as_str(),
+                [(Label::new(format!("of{k}")), info)],
+            ))
+        }
+        OpSpec::LinkTagged(k) => {
+            let mut p = Pattern::new();
+            let tag = p.node(format!("Tag{k}").as_str());
+            let info = p.node("Info");
+            p.edge(tag, format!("of{k}").as_str(), info);
+            let other = p.node("Info");
+            p.edge(info, "links-to", other);
+            Operation::EdgeAdd(EdgeAddition::multivalued(
+                p,
+                tag,
+                format!("sees{k}").as_str(),
+                other,
+            ))
+        }
+        OpSpec::DeleteNamed(k) => {
+            let mut p = Pattern::new();
+            let info = p.node("Info");
+            let name = p.printable("String", format!("info-{k}"));
+            p.edge(info, "name", name);
+            Operation::NodeDel(NodeDeletion::new(p, info))
+        }
+        OpSpec::AbstractLinks(k) => {
+            let mut p = Pattern::new();
+            let info = p.node("Info");
+            let date = p.node("Date");
+            p.edge(info, "created", date);
+            Operation::Abstract(Abstraction::new(
+                p,
+                info,
+                format!("Grp{k}").as_str(),
+                format!("member{k}").as_str(),
+                "links-to",
+            ))
+        }
+    }
+}
+
+fn run(specs: &[OpSpec], db: &mut Instance) {
+    // Seed the Tag classes first so LinkTagged patterns always validate
+    // regardless of generated order.
+    let seed_tags = (0..5).map(|k| to_operation(&OpSpec::TagInfos(k)));
+    let program = Program::from_ops(seed_tags.chain(specs.iter().map(to_operation)));
+    program.apply(db, &mut Env::new()).expect("program applies");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_program_twice_gives_isomorphic_results(
+        seed in 0u64..500,
+        specs in arb_ops(),
+    ) {
+        let config = GenConfig { infos: 12, avg_links: 1.5, distinct_dates: 3, seed };
+        let mut first = random_instance(&config);
+        let mut second = random_instance(&config);
+        run(&specs, &mut first);
+        run(&specs, &mut second);
+        prop_assert!(first.isomorphic_to(&second));
+    }
+
+    #[test]
+    fn invariants_survive_random_programs(
+        seed in 0u64..500,
+        specs in arb_ops(),
+    ) {
+        let mut db = random_instance(&GenConfig {
+            infos: 12,
+            avg_links: 1.5,
+            distinct_dates: 3,
+            seed,
+        });
+        run(&specs, &mut db);
+        db.validate().expect("invariants hold");
+    }
+
+    #[test]
+    fn operations_are_idempotent_where_the_paper_says_so(
+        seed in 0u64..500,
+    ) {
+        // NA, EA and AB re-applied must not change the instance (up to
+        // isomorphism); deletions trivially so on a fixed pattern.
+        let mut db = random_instance(&GenConfig {
+            infos: 10,
+            avg_links: 1.5,
+            distinct_dates: 3,
+            seed,
+        });
+        let specs = [OpSpec::TagInfos(0), OpSpec::LinkTagged(0), OpSpec::AbstractLinks(1)];
+        run(&specs, &mut db);
+        let snapshot = db.clone();
+        run(&specs, &mut db);
+        prop_assert!(db.isomorphic_to(&snapshot));
+    }
+}
+
+#[test]
+fn method_calls_are_deterministic() {
+    // The transitive-closure method on equal random instances yields
+    // isomorphic results — determinism through the whole frame
+    // machinery, recursion included.
+    use good::model::macros::recursion::transitive_closure_method;
+    use good::model::method::execute_call;
+    for seed in 0..5 {
+        let config = GenConfig {
+            infos: 10,
+            avg_links: 1.5,
+            distinct_dates: 3,
+            seed,
+        };
+        let run = || {
+            let mut db = random_instance(&config);
+            let (method, call) = transitive_closure_method("Info", "links-to", "rec-links-to");
+            let mut env = Env::with_fuel(10_000_000);
+            env.register(method);
+            execute_call(&call, &mut db, &mut env).unwrap();
+            db
+        };
+        assert!(run().isomorphic_to(&run()), "seed {seed}");
+    }
+}
+
+#[test]
+fn figure_programs_are_deterministic() {
+    let build = || {
+        let (mut db, _) = good::hypermedia::build_instance();
+        good::hypermedia::figures::fig6_node_addition()
+            .apply(&mut db)
+            .unwrap();
+        good::hypermedia::figures::fig8_node_addition()
+            .apply(&mut db)
+            .unwrap();
+        db
+    };
+    assert!(build().isomorphic_to(&build()));
+}

@@ -1,0 +1,143 @@
+//! Algebraic laws of the operations, property-tested on random
+//! instances. None of these are stated as theorems in the paper, but
+//! each follows from the formal semantics — so they make good
+//! regression tripwires for the operation implementations.
+
+use good::model::gen::{random_instance, GenConfig};
+use good::model::instance::Instance;
+use good::model::label::Label;
+use good::model::ops::{Abstraction, EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion};
+use good::model::pattern::Pattern;
+use proptest::prelude::*;
+
+fn db(seed: u64) -> Instance {
+    random_instance(&GenConfig {
+        infos: 12,
+        avg_links: 1.5,
+        distinct_dates: 3,
+        seed,
+    })
+}
+
+/// The linking pattern used throughout: X -links-to→ Y.
+fn link_pattern() -> (Pattern, good_graph::NodeId, good_graph::NodeId) {
+    let mut pattern = Pattern::new();
+    let x = pattern.node("Info");
+    let y = pattern.node("Info");
+    pattern.edge(x, "links-to", y);
+    (pattern, x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// EA of a fresh edge label followed by ED of the same edges is the
+    /// identity on the instance graph.
+    #[test]
+    fn edge_addition_then_deletion_is_identity(seed in 0u64..300) {
+        let mut instance = db(seed);
+        let snapshot = instance.clone();
+        let (pattern, x, y) = link_pattern();
+        EdgeAddition::multivalued(pattern, y, "rec-links-to", x)
+            .apply(&mut instance)
+            .unwrap();
+        // Delete exactly what was added: pattern re-matches the new
+        // edges.
+        let mut del = Pattern::new();
+        let a = del.node("Info");
+        let b = del.node("Info");
+        del.edge(a, "rec-links-to", b);
+        EdgeDeletion::single(del, a, "rec-links-to", b)
+            .apply(&mut instance)
+            .unwrap();
+        prop_assert!(instance.isomorphic_to(&snapshot));
+    }
+
+    /// NA of a fresh class followed by ND of that whole class is the
+    /// identity on the instance graph.
+    #[test]
+    fn node_addition_then_class_deletion_is_identity(seed in 0u64..300) {
+        let mut instance = db(seed);
+        let snapshot = instance.clone();
+        let (pattern, x, _) = link_pattern();
+        NodeAddition::new(pattern, "Tag", [(Label::new("of"), x)])
+            .apply(&mut instance)
+            .unwrap();
+        let mut del = Pattern::new();
+        let tag = del.node("Tag");
+        NodeDeletion::new(del, tag).apply(&mut instance).unwrap();
+        prop_assert!(instance.isomorphic_to(&snapshot));
+    }
+
+    /// ND is idempotent: deleting with the same pattern twice equals
+    /// deleting once.
+    #[test]
+    fn node_deletion_is_idempotent(seed in 0u64..300) {
+        let mut once = db(seed);
+        let (pattern, x, _) = link_pattern();
+        NodeDeletion::new(pattern.clone(), x).apply(&mut once).unwrap();
+        let mut twice = once.clone();
+        NodeDeletion::new(pattern, x).apply(&mut twice).unwrap();
+        prop_assert!(twice.isomorphic_to(&once));
+    }
+
+    /// ED is idempotent.
+    #[test]
+    fn edge_deletion_is_idempotent(seed in 0u64..300) {
+        let mut once = db(seed);
+        let (pattern, x, y) = link_pattern();
+        EdgeDeletion::single(pattern.clone(), x, "links-to", y)
+            .apply(&mut once)
+            .unwrap();
+        let mut twice = once.clone();
+        EdgeDeletion::single(pattern, x, "links-to", y)
+            .apply(&mut twice)
+            .unwrap();
+        prop_assert!(twice.isomorphic_to(&once));
+    }
+
+    /// Abstraction twice with the same labels equals abstraction once
+    /// (group reuse).
+    #[test]
+    fn abstraction_is_idempotent(seed in 0u64..300) {
+        let mut once = db(seed);
+        let make = || {
+            let mut pattern = Pattern::new();
+            let info = pattern.node("Info");
+            Abstraction::new(pattern, info, "Grp", "member", "links-to")
+        };
+        make().apply(&mut once).unwrap();
+        let mut twice = once.clone();
+        make().apply(&mut twice).unwrap();
+        prop_assert!(twice.isomorphic_to(&once));
+    }
+
+    /// Two node additions with disjoint class labels commute.
+    #[test]
+    fn independent_node_additions_commute(seed in 0u64..300) {
+        let tag = |class: &str| {
+            let (pattern, x, _) = link_pattern();
+            NodeAddition::new(pattern, class, [(Label::new(format!("{class}-of")), x)])
+        };
+        let mut ab = db(seed);
+        tag("A").apply(&mut ab).unwrap();
+        tag("B").apply(&mut ab).unwrap();
+        let mut ba = db(seed);
+        tag("B").apply(&mut ba).unwrap();
+        tag("A").apply(&mut ba).unwrap();
+        prop_assert!(ab.isomorphic_to(&ba));
+    }
+
+    /// The matcher is invariant under serde round-trips of the
+    /// instance.
+    #[test]
+    fn matchings_survive_serialization(seed in 0u64..300) {
+        let instance = db(seed);
+        let (pattern, _, _) = link_pattern();
+        let before = good::model::matching::find_matchings(&pattern, &instance).unwrap();
+        let json = serde_json::to_string(&instance).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        let after = good::model::matching::find_matchings(&pattern, &back).unwrap();
+        prop_assert_eq!(before, after);
+    }
+}
