@@ -30,6 +30,18 @@ pub fn instance_of(infos: usize) -> Instance {
     })
 }
 
+/// The 10 000-object stress instance used by the E12 parallel-scaling
+/// benchmark and the nightly `--ignored` stress tests: ~2 outgoing
+/// links per info, 16 distinct dates, fixed seed.
+pub fn stress_instance() -> Instance {
+    random_instance(&GenConfig {
+        infos: 10_000,
+        avg_links: 2.0,
+        distinct_dates: 16,
+        seed: 42,
+    })
+}
+
 /// A chain-shaped pattern of `length` Info nodes connected by
 /// `links-to` edges; returns `(pattern, nodes)`.
 pub fn chain_pattern(length: usize) -> (Pattern, Vec<NodeId>) {

@@ -29,7 +29,7 @@
 use good_core::error::GoodError;
 use good_core::instance::Instance;
 use good_core::label::Label;
-use good_core::matching::find_matchings;
+use good_core::matching::{default_threads, find_matchings, set_default_threads};
 use good_core::ops::{Abstraction, EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion};
 use good_core::program::Env;
 use good_core::scheme::Scheme;
@@ -157,6 +157,7 @@ impl Session {
             "abstract" => self.cmd_abstract(rest),
             "scheme" => self.cmd_scheme(),
             "stats" => self.cmd_stats(),
+            "threads" => self.cmd_threads(rest),
             "validate" => self.cmd_validate(),
             "dot" => self.cmd_dot(rest),
             "save" => self.cmd_save(rest),
@@ -457,6 +458,17 @@ impl Session {
         Ok(out)
     }
 
+    fn cmd_threads(&mut self, rest: &str) -> Result<String> {
+        let rest = rest.trim();
+        if !rest.is_empty() {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| CliError(format!("bad thread count {rest:?}")))?;
+            set_default_threads(n);
+        }
+        Ok(format!("matching threads: {}", default_threads()))
+    }
+
     fn cmd_validate(&mut self) -> Result<String> {
         self.db_ref()?.validate()?;
         Ok("all invariants hold".into())
@@ -588,7 +600,8 @@ ops:     tag { p } <node> <Class> <edge>
          connect { p } <src> <label> <dst> [functional|multivalued]
          delete { p } <node> | unlink { p } <src> <label> <dst>
          abstract { p } <node> <Class> <member-edge> <key-edge>
-misc:    scheme | stats | validate | dot [path] | save <path> | load <path> | help | quit
+misc:    scheme | stats | threads [n] | validate | dot [path] | save <path> | load <path>
+         help | quit
 ";
 
 #[cfg(test)]
@@ -751,6 +764,17 @@ mod tests {
             .execute("tag { i: Info; } missing Tag of")
             .unwrap_err();
         assert!(err.0.contains("does not declare"));
+    }
+
+    #[test]
+    fn threads_command_reports_and_sets() {
+        let mut session = Session::new();
+        let out = session.execute("threads 2").unwrap();
+        assert_eq!(out, "matching threads: 2");
+        assert!(session.execute("threads nope").is_err());
+        // Restore auto-detection for other tests in this process.
+        let restored = session.execute("threads 0").unwrap();
+        assert!(restored.starts_with("matching threads: "));
     }
 
     #[test]

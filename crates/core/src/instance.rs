@@ -22,7 +22,7 @@ use crate::value::Value;
 use good_graph::dot::{DotEdge, DotNode};
 use good_graph::{EdgeId, Graph, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Payload of an instance node: its class label, plus the print constant
 /// for printable nodes.
@@ -39,6 +39,181 @@ pub struct NodeData {
 pub struct EdgeData {
     /// The edge's label.
     pub label: Label,
+}
+
+/// Per-key postings of the adjacency index: anchor node → sorted
+/// neighbour set.
+type Postings = BTreeMap<NodeId, BTreeSet<NodeId>>;
+
+/// Batched deletions at least this large (and dooming a sizable graph
+/// fraction) rebuild the adjacency index wholesale instead of
+/// unindexing edge by edge.
+const BULK_REBUILD_MIN: usize = 64;
+
+/// The label-pair adjacency index: for every edge `(s, λ, t)` it
+/// records postings under `(label, λ)` keys so the matcher can derive
+/// candidate sets from index lookups and intersections instead of
+/// scanning whole label extents or edge lists.
+///
+/// Four views are maintained (all sets sorted for determinism):
+///
+/// * `sources[(λ(s), λ)][t]` — the `λ(s)`-labeled sources reaching `t`
+///   via `λ` (candidates for a pattern node whose out-edge target is
+///   already bound);
+/// * `targets[(λ(t), λ)][s]` — the `λ(t)`-labeled targets `s` reaches
+///   via `λ` (the symmetric in-edge case);
+/// * `out_support[(λ(s), λ)]` — every `λ(s)`-labeled node with at least
+///   one outgoing `λ` edge;
+/// * `in_support[(λ(t), λ)]` — every `λ(t)`-labeled node with at least
+///   one incoming `λ` edge (support sets are intersected to seed
+///   candidates for pattern nodes with no bound neighbour).
+///
+/// The maps are nested (`node label → edge label → …`) rather than
+/// keyed by a `(Label, Label)` tuple so the read path can probe with
+/// two borrowed `&Label`s — a tuple key would force two `String`
+/// clones per lookup, and `has_edge` sits in the matcher's innermost
+/// loop.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct AdjacencyIndex {
+    sources: HashMap<Label, HashMap<Label, Postings>>,
+    targets: HashMap<Label, HashMap<Label, Postings>>,
+    out_support: HashMap<Label, HashMap<Label, BTreeSet<NodeId>>>,
+    in_support: HashMap<Label, HashMap<Label, BTreeSet<NodeId>>>,
+}
+
+/// Borrowed-key probe of a nested index map — no allocation.
+fn nested_get<'a, T>(
+    map: &'a HashMap<Label, HashMap<Label, T>>,
+    node_label: &Label,
+    edge: &Label,
+) -> Option<&'a T> {
+    map.get(node_label)?.get(edge)
+}
+
+/// Remove the `(node_label, edge)` entry of a nested index map,
+/// pruning the outer entry when its inner map empties. `prune` decides
+/// what to do with the inner value; returning `true` drops it.
+fn nested_prune<T>(
+    map: &mut HashMap<Label, HashMap<Label, T>>,
+    node_label: &Label,
+    edge: &Label,
+    prune: impl FnOnce(&mut T) -> bool,
+) {
+    let Some(inner) = map.get_mut(node_label) else {
+        return;
+    };
+    if let Some(value) = inner.get_mut(edge) {
+        if prune(value) {
+            inner.remove(edge);
+        }
+    }
+    if inner.is_empty() {
+        map.remove(node_label);
+    }
+}
+
+impl AdjacencyIndex {
+    /// Index the edge `(src, λ, dst)`.
+    fn insert(
+        &mut self,
+        src: NodeId,
+        src_label: &Label,
+        edge: &Label,
+        dst: NodeId,
+        dst_label: &Label,
+    ) {
+        self.sources
+            .entry(src_label.clone())
+            .or_default()
+            .entry(edge.clone())
+            .or_default()
+            .entry(dst)
+            .or_default()
+            .insert(src);
+        self.targets
+            .entry(dst_label.clone())
+            .or_default()
+            .entry(edge.clone())
+            .or_default()
+            .entry(src)
+            .or_default()
+            .insert(dst);
+        self.out_support
+            .entry(src_label.clone())
+            .or_default()
+            .entry(edge.clone())
+            .or_default()
+            .insert(src);
+        self.in_support
+            .entry(dst_label.clone())
+            .or_default()
+            .entry(edge.clone())
+            .or_default()
+            .insert(dst);
+    }
+
+    /// Unindex the edge `(src, λ, dst)`. The `src_has_out` / `dst_has_in`
+    /// flags say whether the endpoints still carry *other* `λ` edges in
+    /// the graph (computed by the caller after the graph mutation), which
+    /// decides whether they stay in the support sets. Empty containers
+    /// are pruned so the index stays equal to a fresh rebuild.
+    fn remove(
+        &mut self,
+        (src, src_label): (NodeId, &Label),
+        edge: &Label,
+        (dst, dst_label): (NodeId, &Label),
+        src_has_out: bool,
+        dst_has_in: bool,
+    ) {
+        nested_prune(&mut self.sources, src_label, edge, |postings| {
+            if let Some(set) = postings.get_mut(&dst) {
+                set.remove(&src);
+                if set.is_empty() {
+                    postings.remove(&dst);
+                }
+            }
+            postings.is_empty()
+        });
+        nested_prune(&mut self.targets, dst_label, edge, |postings| {
+            if let Some(set) = postings.get_mut(&src) {
+                set.remove(&dst);
+                if set.is_empty() {
+                    postings.remove(&src);
+                }
+            }
+            postings.is_empty()
+        });
+        if !src_has_out {
+            nested_prune(&mut self.out_support, src_label, edge, |set| {
+                set.remove(&src);
+                set.is_empty()
+            });
+        }
+        if !dst_has_in {
+            nested_prune(&mut self.in_support, dst_label, edge, |set| {
+                set.remove(&dst);
+                set.is_empty()
+            });
+        }
+    }
+
+    /// Build the index of `graph` from scratch (deserialization and the
+    /// validation audit).
+    fn build(graph: &Graph<NodeData, EdgeData>) -> Self {
+        let mut index = AdjacencyIndex::default();
+        for edge in graph.edges() {
+            let src_label = &graph.node(edge.src).expect("live").label;
+            let dst_label = &graph.node(edge.dst).expect("live").label;
+            index.insert(
+                edge.src,
+                src_label,
+                &edge.payload.label,
+                edge.dst,
+                dst_label,
+            );
+        }
+        index
+    }
 }
 
 /// # Example
@@ -71,6 +246,8 @@ pub struct Instance {
     label_index: HashMap<Label, BTreeSet<NodeId>>,
     /// (printable label, value) → the unique node carrying it.
     printable_index: HashMap<(Label, Value), NodeId>,
+    /// (node label, edge label) → postings, for the matcher.
+    adjacency: AdjacencyIndex,
 }
 
 /// Serialized form: scheme + graph; indexes are rebuilt on load.
@@ -104,6 +281,7 @@ impl Instance {
             graph: Graph::new(),
             label_index: HashMap::new(),
             printable_index: HashMap::new(),
+            adjacency: AdjacencyIndex::default(),
         }
     }
 
@@ -111,11 +289,13 @@ impl Instance {
     /// invariants and reconstructing the indexes. This is the
     /// deserialization path.
     pub fn from_parts(scheme: Scheme, graph: Graph<NodeData, EdgeData>) -> Result<Self> {
+        let adjacency = AdjacencyIndex::build(&graph);
         let mut instance = Instance {
             scheme,
             graph,
             label_index: HashMap::new(),
             printable_index: HashMap::new(),
+            adjacency,
         };
         for node in instance.graph.node_ids().collect::<Vec<_>>() {
             let data = instance.graph.node(node).expect("live").clone();
@@ -239,17 +419,75 @@ impl Instance {
             .map(|edge| edge.src)
     }
 
+    /// Out-degree of `node` over all edge labels (0 if absent).
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.graph.out_degree(node)
+    }
+
+    /// In-degree of `node` over all edge labels (0 if absent).
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.graph.in_degree(node)
+    }
+
     /// The `λ`-successor set of `node` as a sorted set — the paper's
     /// `{r : (m, β, r) ∈ E}`, which abstraction groups by.
     pub fn target_set(&self, node: NodeId, label: &Label) -> BTreeSet<NodeId> {
         self.targets(node, label).collect()
     }
 
-    /// True if the edge `(src, λ, dst)` is present.
+    /// True if the edge `(src, λ, dst)` is present. Low-degree sources
+    /// are scanned directly — cheaper than the two label hashes an index
+    /// probe costs — while high-degree ones go through the adjacency
+    /// index so the check stays degree-independent.
     pub fn has_edge(&self, src: NodeId, label: &Label, dst: NodeId) -> bool {
-        self.graph
-            .out_edges(src)
-            .any(|edge| edge.dst == dst && &edge.payload.label == label)
+        const SCAN_LIMIT: usize = 8;
+        if self.graph.out_degree(src) <= SCAN_LIMIT {
+            return self
+                .graph
+                .out_edges(src)
+                .any(|edge| edge.dst == dst && &edge.payload.label == label);
+        }
+        let Some(src_label) = self.node_label(src) else {
+            return false;
+        };
+        nested_get(&self.adjacency.sources, src_label, label)
+            .and_then(|postings| postings.get(&dst))
+            .is_some_and(|set| set.contains(&src))
+    }
+
+    /// Index postings: the sorted set of `src_label`-labeled nodes with a
+    /// `λ`-edge *into* `dst`. `None` means no such edge exists.
+    pub fn indexed_sources(
+        &self,
+        src_label: &Label,
+        edge: &Label,
+        dst: NodeId,
+    ) -> Option<&BTreeSet<NodeId>> {
+        nested_get(&self.adjacency.sources, src_label, edge).and_then(|postings| postings.get(&dst))
+    }
+
+    /// Index postings: the sorted set of `dst_label`-labeled nodes `src`
+    /// reaches via a `λ`-edge. `None` means no such edge exists.
+    pub fn indexed_targets(
+        &self,
+        dst_label: &Label,
+        edge: &Label,
+        src: NodeId,
+    ) -> Option<&BTreeSet<NodeId>> {
+        nested_get(&self.adjacency.targets, dst_label, edge).and_then(|postings| postings.get(&src))
+    }
+
+    /// The sorted set of `label`-labeled nodes with at least one outgoing
+    /// `λ`-edge. A complete over-approximation of the candidates for a
+    /// pattern node with an unanchored outgoing `λ`-edge.
+    pub fn out_support(&self, label: &Label, edge: &Label) -> Option<&BTreeSet<NodeId>> {
+        nested_get(&self.adjacency.out_support, label, edge)
+    }
+
+    /// The sorted set of `label`-labeled nodes with at least one incoming
+    /// `λ`-edge.
+    pub fn in_support(&self, label: &Label, edge: &Label) -> Option<&BTreeSet<NodeId>> {
+        nested_get(&self.adjacency.in_support, label, edge)
     }
 
     /// The id of the edge `(src, λ, dst)`, if present.
@@ -382,12 +620,68 @@ impl Instance {
                 });
             }
         }
-        Ok(self.graph.add_edge(src, dst, EdgeData { label }))
+        let id = self.graph.add_edge(
+            src,
+            dst,
+            EdgeData {
+                label: label.clone(),
+            },
+        );
+        self.adjacency
+            .insert(src, &src_data.label, &label, dst, &dst_data.label);
+        Ok(id)
     }
 
     /// Delete a node with all incident edges. Deleting a dead node is a
     /// no-op returning `false`.
     pub fn delete_node(&mut self, node: NodeId) -> bool {
+        if !self.graph.contains_node(node) {
+            return false;
+        }
+        // Capture the incident edge triples before the cascade removes
+        // them: the index updates need the endpoint labels, which are
+        // unreachable once the node is dead. Self-loops show up in both
+        // edge lists, so the in-pass skips them.
+        let mut incident: Vec<(NodeId, Label, Label, NodeId, Label)> = Vec::new();
+        for edge in self.graph.out_edges(node) {
+            let dst_label = self.graph.node(edge.dst).expect("live").label.clone();
+            let src_label = self.graph.node(node).expect("live").label.clone();
+            incident.push((
+                node,
+                src_label,
+                edge.payload.label.clone(),
+                edge.dst,
+                dst_label,
+            ));
+        }
+        for edge in self.graph.in_edges(node) {
+            if edge.src == node {
+                continue;
+            }
+            let src_label = self.graph.node(edge.src).expect("live").label.clone();
+            let dst_label = self.graph.node(node).expect("live").label.clone();
+            incident.push((
+                edge.src,
+                src_label,
+                edge.payload.label.clone(),
+                node,
+                dst_label,
+            ));
+        }
+        if !self.remove_node_untracked(node) {
+            return false;
+        }
+        for (src, src_label, edge_label, dst, dst_label) in incident {
+            self.unindex_edge(src, &src_label, &edge_label, dst, &dst_label);
+        }
+        true
+    }
+
+    /// Remove a node from the graph plus the label/printable indexes,
+    /// leaving the adjacency index stale. Callers either unindex the
+    /// captured incident edges afterwards (`delete_node`) or rebuild the
+    /// whole index (the bulk path of `delete_nodes`).
+    fn remove_node_untracked(&mut self, node: NodeId) -> bool {
         let Some(data) = self.graph.remove_node(node) else {
             return false;
         };
@@ -403,10 +697,71 @@ impl Instance {
         true
     }
 
+    /// Delete every node in `nodes` with all incident edges, returning
+    /// how many were live. The batched entry point for the node-deletion
+    /// operation: dead ids (already deleted earlier in the batch) are
+    /// skipped silently. Batches that doom a sizable fraction of the
+    /// graph skip per-edge unindexing and rebuild the adjacency index
+    /// once — O(surviving edges) instead of O(doomed edges × degree).
+    pub fn delete_nodes(&mut self, nodes: impl IntoIterator<Item = NodeId>) -> usize {
+        let doomed: Vec<NodeId> = nodes.into_iter().collect();
+        if doomed.len() >= BULK_REBUILD_MIN && doomed.len() * 8 >= self.graph.node_count() {
+            let removed = doomed
+                .into_iter()
+                .filter(|node| self.remove_node_untracked(*node))
+                .count();
+            self.adjacency = AdjacencyIndex::build(&self.graph);
+            removed
+        } else {
+            doomed
+                .into_iter()
+                .filter(|node| self.delete_node(*node))
+                .count()
+        }
+    }
+
     /// Delete an edge by id. Deleting a dead edge is a no-op returning
     /// `false`.
     pub fn delete_edge(&mut self, edge: EdgeId) -> bool {
-        self.graph.remove_edge(edge).is_some()
+        let Some(edge_ref) = self.graph.edge_ref(edge) else {
+            return false;
+        };
+        let (src, dst) = (edge_ref.src, edge_ref.dst);
+        let edge_label = edge_ref.payload.label.clone();
+        let src_label = self.graph.node(src).expect("live").label.clone();
+        let dst_label = self.graph.node(dst).expect("live").label.clone();
+        if self.graph.remove_edge(edge).is_none() {
+            return false;
+        }
+        self.unindex_edge(src, &src_label, &edge_label, dst, &dst_label);
+        true
+    }
+
+    /// Unindex one removed edge, rechecking endpoint support against the
+    /// (already mutated) graph.
+    fn unindex_edge(
+        &mut self,
+        src: NodeId,
+        src_label: &Label,
+        edge_label: &Label,
+        dst: NodeId,
+        dst_label: &Label,
+    ) {
+        let src_has_out = self
+            .graph
+            .out_edges(src)
+            .any(|e| &e.payload.label == edge_label);
+        let dst_has_in = self
+            .graph
+            .in_edges(dst)
+            .any(|e| &e.payload.label == edge_label);
+        self.adjacency.remove(
+            (src, src_label),
+            edge_label,
+            (dst, dst_label),
+            src_has_out,
+            dst_has_in,
+        );
     }
 
     /// Delete the edge `(src, λ, dst)` if present.
@@ -414,6 +769,44 @@ impl Instance {
         match self.edge_between(src, label, dst) {
             Some(edge) => self.delete_edge(edge),
             None => false,
+        }
+    }
+
+    /// Delete every edge triple in `triples`, returning how many were
+    /// present. The batched entry point for the edge-deletion operation:
+    /// triples are grouped by source so each source's out-edge list is
+    /// scanned once, instead of once per doomed triple.
+    pub fn delete_edges_between(
+        &mut self,
+        triples: impl IntoIterator<Item = (NodeId, Label, NodeId)>,
+    ) -> usize {
+        let mut by_src: BTreeMap<NodeId, Vec<(Label, NodeId)>> = BTreeMap::new();
+        for (src, label, dst) in triples {
+            by_src.entry(src).or_default().push((label, dst));
+        }
+        let mut doomed: Vec<EdgeId> = Vec::new();
+        for (src, pairs) in &by_src {
+            for edge in self.graph.out_edges(*src) {
+                if pairs
+                    .iter()
+                    .any(|(label, dst)| edge.dst == *dst && &edge.payload.label == label)
+                {
+                    doomed.push(edge.id);
+                }
+            }
+        }
+        if doomed.len() >= BULK_REBUILD_MIN && doomed.len() * 2 >= self.graph.edge_count() {
+            let removed = doomed
+                .into_iter()
+                .filter(|edge| self.graph.remove_edge(*edge).is_some())
+                .count();
+            self.adjacency = AdjacencyIndex::build(&self.graph);
+            removed
+        } else {
+            doomed
+                .into_iter()
+                .filter(|edge| self.delete_edge(*edge))
+                .count()
         }
     }
 
@@ -518,7 +911,15 @@ impl Instance {
                     )));
                 }
                 let mut distinct = BTreeSet::new();
+                let mut seen_targets = BTreeSet::new();
                 for target in &targets {
+                    // Edge sets are sets: a parallel duplicate of the same
+                    // triple would double-count in the adjacency postings.
+                    if !seen_targets.insert(*target) {
+                        return Err(GoodError::InvariantViolation(format!(
+                            "duplicate parallel edge ({src_label}, {label}) to {target:?}"
+                        )));
+                    }
                     let dst_label = &self.graph.node(*target).expect("live").label;
                     distinct.insert(dst_label.clone());
                     if !self.scheme.allows(src_label, label, dst_label) {
@@ -547,7 +948,25 @@ impl Instance {
                 }
             }
         }
+        // Adjacency index integrity: the incrementally maintained index
+        // must be exactly what a fresh rebuild produces (empty containers
+        // are pruned on removal precisely so this comparison is equality).
+        let rebuilt = AdjacencyIndex::build(&self.graph);
+        if rebuilt != self.adjacency {
+            return Err(GoodError::InvariantViolation(
+                "adjacency index out of sync with graph".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// Debug-build audit that every index agrees with the graph; compiled
+    /// out in release builds. The GOOD operations call this after each
+    /// batched mutation pass.
+    #[inline]
+    pub fn debug_assert_indexes(&self) {
+        #[cfg(debug_assertions)]
+        self.validate().expect("instance indexes out of sync");
     }
 
     // ---- comparison & rendering -------------------------------------------
@@ -812,6 +1231,94 @@ mod tests {
         let z = build(["Rock", "Blues"]);
         assert!(x.isomorphic_to(&y));
         assert!(!x.isomorphic_to(&z));
+    }
+
+    #[test]
+    fn adjacency_index_answers_queries() {
+        let mut db = Instance::new(scheme());
+        let a = db.add_object("Info").unwrap();
+        let b = db.add_object("Info").unwrap();
+        let c = db.add_object("Info").unwrap();
+        db.add_edge(a, "links-to", c).unwrap();
+        db.add_edge(b, "links-to", c).unwrap();
+        db.add_edge(a, "links-to", b).unwrap();
+        let info: Label = "Info".into();
+        let links: Label = "links-to".into();
+        // Sources of c via links-to: {a, b}.
+        let sources = db.indexed_sources(&info, &links, c).unwrap();
+        assert_eq!(sources.iter().copied().collect::<Vec<_>>(), vec![a, b]);
+        // Targets of a via links-to: {b, c}.
+        let targets = db.indexed_targets(&info, &links, a).unwrap();
+        assert_eq!(targets.iter().copied().collect::<Vec<_>>(), vec![b, c]);
+        // Supports.
+        let out = db.out_support(&info, &links).unwrap();
+        assert_eq!(out.iter().copied().collect::<Vec<_>>(), vec![a, b]);
+        let inn = db.in_support(&info, &links).unwrap();
+        assert_eq!(inn.iter().copied().collect::<Vec<_>>(), vec![b, c]);
+        assert!(db.has_edge(a, &links, c));
+        assert!(!db.has_edge(c, &links, a));
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn adjacency_index_tracks_deletions() {
+        let mut db = Instance::new(scheme());
+        let a = db.add_object("Info").unwrap();
+        let b = db.add_object("Info").unwrap();
+        let c = db.add_object("Info").unwrap();
+        db.add_edge(a, "links-to", b).unwrap();
+        db.add_edge(a, "links-to", c).unwrap();
+        let info: Label = "Info".into();
+        let links: Label = "links-to".into();
+        db.delete_edge_between(a, &links, b);
+        // a still supports out (edge to c survives); b lost in-support.
+        assert!(db.out_support(&info, &links).unwrap().contains(&a));
+        assert!(db.indexed_sources(&info, &links, b).is_none());
+        db.validate().unwrap();
+        // Node deletion cascades out of the index too.
+        db.delete_node(c);
+        assert!(db.out_support(&info, &links).is_none());
+        assert!(db.in_support(&info, &links).is_none());
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn adjacency_index_survives_self_loop_deletion() {
+        let mut db = Instance::new(scheme());
+        let a = db.add_object("Info").unwrap();
+        let b = db.add_object("Info").unwrap();
+        db.add_edge(a, "links-to", a).unwrap();
+        db.add_edge(a, "links-to", b).unwrap();
+        db.validate().unwrap();
+        db.delete_node(a);
+        db.validate().unwrap();
+        let info: Label = "Info".into();
+        let links: Label = "links-to".into();
+        assert!(db.out_support(&info, &links).is_none());
+    }
+
+    #[test]
+    fn batched_deletion_helpers() {
+        let mut db = Instance::new(scheme());
+        let a = db.add_object("Info").unwrap();
+        let b = db.add_object("Info").unwrap();
+        let c = db.add_object("Info").unwrap();
+        let links: Label = "links-to".into();
+        db.add_edge(a, "links-to", b).unwrap();
+        db.add_edge(a, "links-to", c).unwrap();
+        db.add_edge(b, "links-to", c).unwrap();
+        let removed = db.delete_edges_between(vec![
+            (a, links.clone(), b),
+            (a, links.clone(), c),
+            (a, links.clone(), b), // duplicate: counted once
+        ]);
+        assert_eq!(removed, 2);
+        assert_eq!(db.edge_count(), 1);
+        db.validate().unwrap();
+        let gone = db.delete_nodes(vec![a, b, b]);
+        assert_eq!(gone, 2);
+        assert_eq!(db.node_count(), 1);
+        db.validate().unwrap();
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub mod prelude {
     pub use crate::error::{GoodError, Result};
     pub use crate::instance::Instance;
     pub use crate::label::{EdgeKind, Label, NodeKind};
-    pub use crate::matching::{find_matchings, Matching};
+    pub use crate::matching::{
+        default_threads, find_matchings, find_matchings_with, set_default_threads, MatchConfig,
+        Matching,
+    };
     pub use crate::method::{Method, MethodCall, MethodSpec};
     pub use crate::ops::{Abstraction, EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion};
     pub use crate::pattern::{Pattern, ValuePredicate};

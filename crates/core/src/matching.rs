@@ -8,10 +8,15 @@
 //! Two engines are provided:
 //!
 //! * [`find_matchings`] — the production engine: backtracking search
-//!   with dynamic most-constrained-node selection, candidate derivation
-//!   from the instance's label/printable indexes and from edges to
-//!   already-bound neighbours. Handles crossed (negated) parts by the
-//!   paper's extension semantics and printable predicates.
+//!   over a dense [`Frame`] with dynamic most-constrained-node
+//!   selection. Candidate sets come from the instance's adjacency
+//!   index — `(node label, edge label)` postings for bound neighbours,
+//!   support-set intersections for unanchored nodes — instead of
+//!   whole-label scans. Large searches are split into *morsels* of
+//!   root-node candidates and solved on multiple threads (see
+//!   [`MatchConfig`]); the canonical sort makes the result bit-for-bit
+//!   identical at any thread count. Crossed (negated) parts use the
+//!   paper's extension semantics; printable predicates are supported.
 //! * [`find_matchings_naive`] — candidate cross-product enumeration with
 //!   a post-hoc edge filter. Exponential; kept as differential-testing
 //!   ground truth and as the baseline of benchmark E1.
@@ -21,10 +26,17 @@
 
 use crate::error::{GoodError, Result};
 use crate::instance::Instance;
+use crate::label::Label;
 use crate::pattern::{Pattern, PatternNode, PatternNodeKind};
 use good_graph::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bound-neighbour images with at most this many incident edges are
+/// scanned directly during candidate derivation instead of probed
+/// through the adjacency index (mirrors `Instance::has_edge`).
+const SCAN_LIMIT: usize = 8;
 
 /// A matching: a total mapping from pattern nodes to instance nodes.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -66,6 +78,129 @@ impl Matching {
     }
 }
 
+// ---- threading configuration -------------------------------------------
+
+/// Process-wide default for [`MatchConfig::threads`]; 0 means "ask the
+/// OS" via `available_parallelism`.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide default worker count used when
+/// [`MatchConfig::threads`] is 0. Passing 0 restores auto-detection.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The resolved process-wide default worker count.
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => machine_parallelism(),
+        n => n,
+    }
+}
+
+/// `available_parallelism`, probed once. The std call re-reads cgroup
+/// quota files on Linux (~10 µs), which would dwarf an anchored point
+/// query if paid per `find_matchings` call.
+fn machine_parallelism() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    match CACHED.load(Ordering::Relaxed) {
+        0 => {
+            let probed = std::thread::available_parallelism().map_or(1, |n| n.get());
+            CACHED.store(probed, Ordering::Relaxed);
+            probed
+        }
+        n => n,
+    }
+}
+
+/// Tuning knobs for [`find_matchings_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchConfig {
+    /// Worker thread count. 0 resolves to [`default_threads`] (which in
+    /// turn defaults to the machine's available parallelism).
+    pub threads: usize,
+    /// Minimum number of root candidates before the search goes
+    /// parallel; below it the morsel machinery is not worth its setup
+    /// cost and the sequential path runs instead.
+    pub parallel_threshold: usize,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            threads: 0,
+            parallel_threshold: 128,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// A sequential configuration (one worker, any input size).
+    pub fn sequential() -> Self {
+        MatchConfig {
+            threads: 1,
+            parallel_threshold: usize::MAX,
+        }
+    }
+
+    /// Override the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads().max(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+// ---- binding frame ------------------------------------------------------
+
+/// A dense partial binding: pattern-node arena index → instance node.
+///
+/// Replaces the `BTreeMap<NodeId, NodeId>` of the original engine; bind,
+/// unbind, and lookup are all a single vector access. Sized by the
+/// pattern graph's `node_index_bound`, which `positive_part`/`unnegated`
+/// preserve, so one frame layout serves both the positive search and the
+/// negation-extension search.
+#[derive(Debug, Clone)]
+struct Frame {
+    slots: Vec<Option<NodeId>>,
+    bound: usize,
+}
+
+impl Frame {
+    fn new(capacity: usize) -> Self {
+        Frame {
+            slots: vec![None; capacity],
+            bound: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, node: NodeId) -> Option<NodeId> {
+        self.slots[node.index()]
+    }
+
+    #[inline]
+    fn bind(&mut self, node: NodeId, image: NodeId) {
+        debug_assert!(self.slots[node.index()].is_none());
+        self.slots[node.index()] = Some(image);
+        self.bound += 1;
+    }
+
+    #[inline]
+    fn unbind(&mut self, node: NodeId) {
+        debug_assert!(self.slots[node.index()].is_some());
+        self.slots[node.index()] = None;
+        self.bound -= 1;
+    }
+}
+
 /// Does the instance node `candidate` satisfy `node`'s local constraints
 /// (label, print value, predicate)?
 fn node_compatible(instance: &Instance, node: &PatternNode, candidate: NodeId) -> bool {
@@ -89,9 +224,9 @@ fn node_compatible(instance: &Instance, node: &PatternNode, candidate: NodeId) -
     true
 }
 
-/// The backtracking core: extend `binding` to cover all of `order`,
-/// invoking `on_match` for each complete assignment. Returns `false`
-/// from `on_match` to stop the search early.
+/// The backtracking core: extend a [`Frame`] to cover all of `nodes`,
+/// invoking `on_match` for each complete assignment. Shared immutably
+/// across worker threads by the parallel driver.
 struct Search<'a> {
     pattern: &'a Pattern,
     instance: &'a Instance,
@@ -99,9 +234,33 @@ struct Search<'a> {
 }
 
 impl<'a> Search<'a> {
+    /// One frame sized for this search's pattern.
+    fn frame(&self) -> Frame {
+        Frame::new(self.pattern.graph().node_index_bound())
+    }
+
+    /// Materialize a complete frame as a [`Matching`].
+    fn to_matching(&self, frame: &Frame) -> Matching {
+        Matching(
+            self.nodes
+                .iter()
+                .map(|&n| (n, frame.get(n).expect("complete frame")))
+                .collect(),
+        )
+    }
+
     /// Candidate instance nodes for `pnode` given the current partial
-    /// `binding`, cheapest source first.
-    fn candidates(&self, pnode: NodeId, binding: &BTreeMap<NodeId, NodeId>) -> Vec<NodeId> {
+    /// `frame`, derived from the adjacency index.
+    ///
+    /// (`SCAN_LIMIT` mirrors `Instance::has_edge`: below it a direct
+    /// edge-list scan beats the two label hashes an index probe costs.)
+    ///
+    /// Priority: exact printable value (one probe) → smallest postings
+    /// set of an edge to a bound neighbour (exact) → intersection of the
+    /// support sets of all incident edge labels (complete
+    /// over-approximation; exactness is restored by `edges_consistent`
+    /// as neighbours get bound) → whole label extent (isolated nodes).
+    fn candidates(&self, pnode: NodeId, frame: &Frame) -> Vec<NodeId> {
         let data = self.pattern.graph().node(pnode).expect("live pattern node");
         let PatternNodeKind::Class(label) = &data.kind else {
             return Vec::new();
@@ -113,21 +272,40 @@ impl<'a> Search<'a> {
                 None => Vec::new(),
             };
         }
-        // Prefer deriving candidates from a bound neighbour: follow the
-        // connecting edge in the instance.
-        let mut best: Option<Vec<NodeId>> = None;
+        // Bound neighbour: candidates are the neighbours of its image
+        // along the connecting edge. A low-degree image is scanned
+        // directly (cheaper than hashing two labels for an index probe);
+        // a high-degree one uses the postings under (λ(pnode), edge
+        // label), which are exact and degree-independent. A probed
+        // anchor with no postings means no candidate at all.
+        enum Anchor<'i> {
+            Postings(&'i BTreeSet<NodeId>),
+            ScanSources(NodeId),
+            ScanTargets(NodeId),
+        }
+        let mut best: Option<(usize, Anchor<'_>, &Label)> = None;
+        let mut anchored = false;
         for edge in self.pattern.graph().out_edges(pnode) {
             if edge.payload.negated {
                 continue;
             }
-            if let Some(&bound) = binding.get(&edge.dst) {
-                let cands: Vec<NodeId> = self
-                    .instance
-                    .sources(bound, &edge.payload.label)
-                    .filter(|c| node_compatible(self.instance, data, *c))
-                    .collect();
-                if best.as_ref().is_none_or(|b| cands.len() < b.len()) {
-                    best = Some(cands);
+            if let Some(bound) = frame.get(edge.dst) {
+                anchored = true;
+                let elabel = &edge.payload.label;
+                let degree = self.instance.in_degree(bound);
+                if degree <= SCAN_LIMIT {
+                    if best.as_ref().is_none_or(|(len, _, _)| degree < *len) {
+                        best = Some((degree, Anchor::ScanSources(bound), elabel));
+                    }
+                } else {
+                    match self.instance.indexed_sources(label, elabel, bound) {
+                        Some(set) => {
+                            if best.as_ref().is_none_or(|(len, _, _)| set.len() < *len) {
+                                best = Some((set.len(), Anchor::Postings(set), elabel));
+                            }
+                        }
+                        None => return Vec::new(),
+                    }
                 }
             }
         }
@@ -135,24 +313,88 @@ impl<'a> Search<'a> {
             if edge.payload.negated {
                 continue;
             }
-            if let Some(&bound) = binding.get(&edge.src) {
-                let cands: Vec<NodeId> = self
-                    .instance
-                    .targets(bound, &edge.payload.label)
-                    .filter(|c| node_compatible(self.instance, data, *c))
-                    .collect();
-                if best.as_ref().is_none_or(|b| cands.len() < b.len()) {
-                    best = Some(cands);
+            if let Some(bound) = frame.get(edge.src) {
+                anchored = true;
+                let elabel = &edge.payload.label;
+                let degree = self.instance.out_degree(bound);
+                if degree <= SCAN_LIMIT {
+                    if best.as_ref().is_none_or(|(len, _, _)| degree < *len) {
+                        best = Some((degree, Anchor::ScanTargets(bound), elabel));
+                    }
+                } else {
+                    match self.instance.indexed_targets(label, elabel, bound) {
+                        Some(set) => {
+                            if best.as_ref().is_none_or(|(len, _, _)| set.len() < *len) {
+                                best = Some((set.len(), Anchor::Postings(set), elabel));
+                            }
+                        }
+                        None => return Vec::new(),
+                    }
                 }
             }
         }
-        if let Some(cands) = best {
-            let mut cands = cands;
-            cands.sort();
-            cands.dedup();
-            return cands;
+        if anchored {
+            let (_, anchor, elabel) = best.expect("anchored search has an anchor");
+            return match anchor {
+                Anchor::Postings(set) => set
+                    .iter()
+                    .copied()
+                    .filter(|c| node_compatible(self.instance, data, *c))
+                    .collect(),
+                Anchor::ScanSources(bound) => {
+                    let mut cands: Vec<NodeId> = self
+                        .instance
+                        .sources(bound, elabel)
+                        .filter(|c| node_compatible(self.instance, data, *c))
+                        .collect();
+                    cands.sort_unstable();
+                    cands.dedup();
+                    cands
+                }
+                Anchor::ScanTargets(bound) => {
+                    let mut cands: Vec<NodeId> = self
+                        .instance
+                        .targets(bound, elabel)
+                        .filter(|c| node_compatible(self.instance, data, *c))
+                        .collect();
+                    cands.sort_unstable();
+                    cands.dedup();
+                    cands
+                }
+            };
         }
-        // Fall back to the label index.
+        // No bound neighbour: intersect the support sets of every
+        // incident edge label, smallest first.
+        let mut supports: Vec<&BTreeSet<NodeId>> = Vec::new();
+        for edge in self.pattern.graph().out_edges(pnode) {
+            if edge.payload.negated {
+                continue;
+            }
+            match self.instance.out_support(label, &edge.payload.label) {
+                Some(set) => supports.push(set),
+                None => return Vec::new(),
+            }
+        }
+        for edge in self.pattern.graph().in_edges(pnode) {
+            if edge.payload.negated {
+                continue;
+            }
+            match self.instance.in_support(label, &edge.payload.label) {
+                Some(set) => supports.push(set),
+                None => return Vec::new(),
+            }
+        }
+        if !supports.is_empty() {
+            supports.sort_by_key(|set| set.len());
+            let (first, rest) = supports.split_first().expect("non-empty");
+            return first
+                .iter()
+                .copied()
+                .filter(|c| rest.iter().all(|set| set.contains(c)))
+                .filter(|c| node_compatible(self.instance, data, *c))
+                .collect();
+        }
+        // Isolated pattern node: fall back to the label extent.
         self.instance
             .nodes_with_label(label)
             .filter(|c| node_compatible(self.instance, data, *c))
@@ -162,13 +404,13 @@ impl<'a> Search<'a> {
     /// All (non-negated) pattern edges between bound nodes must exist in
     /// the instance once both endpoints are bound. We check edges
     /// incident to the node just bound.
-    fn edges_consistent(&self, pnode: NodeId, binding: &BTreeMap<NodeId, NodeId>) -> bool {
-        let image = binding[&pnode];
+    fn edges_consistent(&self, pnode: NodeId, frame: &Frame) -> bool {
+        let image = frame.get(pnode).expect("pnode just bound");
         for edge in self.pattern.graph().out_edges(pnode) {
             if edge.payload.negated {
                 continue;
             }
-            if let Some(&dst) = binding.get(&edge.dst) {
+            if let Some(dst) = frame.get(edge.dst) {
                 if !self.instance.has_edge(image, &edge.payload.label, dst) {
                     return false;
                 }
@@ -182,7 +424,7 @@ impl<'a> Search<'a> {
             if edge.src == pnode {
                 continue;
             }
-            if let Some(&src) = binding.get(&edge.src) {
+            if let Some(src) = frame.get(edge.src) {
                 if !self.instance.has_edge(src, &edge.payload.label, image) {
                     return false;
                 }
@@ -192,11 +434,11 @@ impl<'a> Search<'a> {
     }
 
     /// A cheap upper-bound estimate of `pnode`'s candidate count under
-    /// the current binding, without materializing the list. Used for
+    /// the current frame, without materializing the list. Used for
     /// most-constrained-node selection: full lists are built only for
-    /// the node actually chosen, which keeps a k-node pattern on an
-    /// n-node instance near O(n·dᵏ⁻¹) instead of O(k·n) *per step*.
-    fn candidate_estimate(&self, pnode: NodeId, binding: &BTreeMap<NodeId, NodeId>) -> usize {
+    /// the node actually chosen. All numbers are O(1) — index set sizes
+    /// or neighbour degrees, never an edge-list traversal.
+    fn candidate_estimate(&self, pnode: NodeId, frame: &Frame) -> usize {
         let data = self.pattern.graph().node(pnode).expect("live pattern node");
         let PatternNodeKind::Class(label) = &data.kind else {
             return 0;
@@ -209,48 +451,148 @@ impl<'a> Search<'a> {
             if edge.payload.negated {
                 continue;
             }
-            if let Some(&bound) = binding.get(&edge.dst) {
-                best = best.min(self.instance.sources(bound, &edge.payload.label).count());
-            }
+            let size = match frame.get(edge.dst) {
+                Some(bound) => {
+                    let degree = self.instance.in_degree(bound);
+                    if degree <= SCAN_LIMIT {
+                        degree
+                    } else {
+                        self.instance
+                            .indexed_sources(label, &edge.payload.label, bound)
+                            .map_or(0, BTreeSet::len)
+                    }
+                }
+                None => self
+                    .instance
+                    .out_support(label, &edge.payload.label)
+                    .map_or(0, BTreeSet::len),
+            };
+            best = best.min(size);
         }
         for edge in self.pattern.graph().in_edges(pnode) {
             if edge.payload.negated {
                 continue;
             }
-            if let Some(&bound) = binding.get(&edge.src) {
-                best = best.min(self.instance.targets(bound, &edge.payload.label).count());
-            }
+            let size = match frame.get(edge.src) {
+                Some(bound) => {
+                    let degree = self.instance.out_degree(bound);
+                    if degree <= SCAN_LIMIT {
+                        degree
+                    } else {
+                        self.instance
+                            .indexed_targets(label, &edge.payload.label, bound)
+                            .map_or(0, BTreeSet::len)
+                    }
+                }
+                None => self
+                    .instance
+                    .in_support(label, &edge.payload.label)
+                    .map_or(0, BTreeSet::len),
+            };
+            best = best.min(size);
         }
         best
     }
 
-    fn solve(
-        &self,
-        binding: &mut BTreeMap<NodeId, NodeId>,
-        on_match: &mut impl FnMut(&BTreeMap<NodeId, NodeId>) -> bool,
-    ) -> bool {
-        if binding.len() == self.nodes.len() {
-            return on_match(binding);
+    /// The most constrained unbound node, by candidate estimate.
+    fn most_constrained(&self, frame: &Frame) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| frame.get(**n).is_none())
+            .map(|&n| (self.candidate_estimate(n, frame), n))
+            .min()
+            .map(|(_, n)| n)
+    }
+
+    fn solve(&self, frame: &mut Frame, on_match: &mut impl FnMut(&Frame) -> bool) -> bool {
+        if frame.bound == self.nodes.len() {
+            return on_match(frame);
         }
         // Most-constrained-node selection on cheap estimates; only the
         // winner's candidate list is materialized.
         let next = self
-            .nodes
-            .iter()
-            .filter(|n| !binding.contains_key(n))
-            .map(|&n| (self.candidate_estimate(n, binding), n))
-            .min()
-            .map(|(_, n)| n)
+            .most_constrained(frame)
             .expect("at least one unbound node");
-        let candidates = self.candidates(next, binding);
+        let candidates = self.candidates(next, frame);
         for candidate in candidates {
-            binding.insert(next, candidate);
-            if self.edges_consistent(next, binding) && !self.solve(binding, on_match) {
+            frame.bind(next, candidate);
+            if self.edges_consistent(next, frame) && !self.solve(frame, on_match) {
                 return false;
             }
-            binding.remove(&next);
+            frame.unbind(next);
         }
         true
+    }
+
+    /// Enumerate every matching of this search's (positive) pattern,
+    /// unsorted. Splits the root node's candidate list into morsels
+    /// claimed by worker threads via an atomic cursor when the list is
+    /// large enough; the caller's canonical sort makes the merged result
+    /// independent of scheduling.
+    fn enumerate(&self, config: MatchConfig) -> Vec<Matching> {
+        let threads = config.resolved_threads();
+        if self.nodes.is_empty() {
+            // The empty pattern has exactly one (empty) matching.
+            return vec![self.to_matching(&self.frame())];
+        }
+        let empty = self.frame();
+        let root = self.most_constrained(&empty).expect("non-empty pattern");
+        let root_candidates = self.candidates(root, &empty);
+        if threads <= 1 || root_candidates.len() < config.parallel_threshold {
+            let mut results = Vec::new();
+            let mut frame = self.frame();
+            for &candidate in &root_candidates {
+                frame.bind(root, candidate);
+                if self.edges_consistent(root, &frame) {
+                    self.solve(&mut frame, &mut |complete| {
+                        results.push(self.to_matching(complete));
+                        true
+                    });
+                }
+                frame.unbind(root);
+            }
+            return results;
+        }
+        // Morsel-driven: workers claim contiguous chunks of the root
+        // candidate list with a fetch_add cursor, so fast morsels steal
+        // the slack left by slow ones.
+        let morsel = (root_candidates.len() / (threads * 8)).clamp(1, 1024);
+        let cursor = AtomicUsize::new(0);
+        let mut merged: Vec<Matching> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let root_candidates = &root_candidates;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut frame = self.frame();
+                        loop {
+                            let start = cursor.fetch_add(morsel, Ordering::Relaxed);
+                            if start >= root_candidates.len() {
+                                break;
+                            }
+                            let end = (start + morsel).min(root_candidates.len());
+                            for &candidate in &root_candidates[start..end] {
+                                frame.bind(root, candidate);
+                                if self.edges_consistent(root, &frame) {
+                                    self.solve(&mut frame, &mut |complete| {
+                                        local.push(self.to_matching(complete));
+                                        true
+                                    });
+                                }
+                                frame.unbind(root);
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                merged.extend(handle.join().expect("matching worker panicked"));
+            }
+        });
+        merged
     }
 }
 
@@ -259,33 +601,34 @@ impl<'a> Search<'a> {
 fn extends_to_full(pattern: &Pattern, instance: &Instance, matching: &Matching) -> bool {
     let full = pattern.unnegated();
     let nodes: Vec<NodeId> = full.graph().node_ids().collect();
-    let mut binding: BTreeMap<NodeId, NodeId> = matching.0.clone();
-    // Pre-bound part must already satisfy the full pattern's edges among
-    // bound nodes (crossed edges between positive nodes).
-    for &node in matching.0.keys() {
-        let search = Search {
-            pattern: &full,
-            instance,
-            nodes: nodes.clone(),
-        };
-        if !search.edges_consistent(node, &binding) {
-            return false;
-        }
-    }
     let search = Search {
         pattern: &full,
         instance,
         nodes,
     };
+    // `positive_part`/`unnegated` preserve the node arena layout, so the
+    // matching's pattern-node ids index the full pattern's frame.
+    let mut frame = search.frame();
+    for (pnode, image) in matching.iter() {
+        frame.bind(pnode, image);
+    }
+    // Pre-bound part must already satisfy the full pattern's edges among
+    // bound nodes (crossed edges between positive nodes).
+    for (pnode, _) in matching.iter() {
+        if !search.edges_consistent(pnode, &frame) {
+            return false;
+        }
+    }
     let mut found = false;
-    search.solve(&mut binding, &mut |_| {
+    search.solve(&mut frame, &mut |_| {
         found = true;
         false // stop at first witness
     });
     found
 }
 
-/// Find all matchings of `pattern` in `instance`, in canonical order.
+/// Find all matchings of `pattern` in `instance`, in canonical order,
+/// using the process-default [`MatchConfig`].
 ///
 /// Crossed parts are evaluated with the paper's semantics: a matching of
 /// the positive part survives iff it *cannot* be enlarged to the
@@ -316,6 +659,19 @@ fn extends_to_full(pattern: &Pattern, instance: &Instance, matching: &Matching) 
 /// # Ok::<(), GoodError>(())
 /// ```
 pub fn find_matchings(pattern: &Pattern, instance: &Instance) -> Result<Vec<Matching>> {
+    find_matchings_with(pattern, instance, MatchConfig::default())
+}
+
+/// [`find_matchings`] with explicit threading configuration.
+///
+/// The result is bit-for-bit identical for every `config`: both the
+/// sequential and the morsel-parallel path enumerate the complete
+/// solution set, and the canonical sort erases scheduling order.
+pub fn find_matchings_with(
+    pattern: &Pattern,
+    instance: &Instance,
+    config: MatchConfig,
+) -> Result<Vec<Matching>> {
     if pattern.has_method_head() {
         return Err(GoodError::InvalidPattern(
             "patterns with method-head nodes must be rewritten by a method call before matching"
@@ -331,12 +687,7 @@ pub fn find_matchings(pattern: &Pattern, instance: &Instance) -> Result<Vec<Matc
         instance,
         nodes,
     };
-    let mut results = Vec::new();
-    let mut binding = BTreeMap::new();
-    search.solve(&mut binding, &mut |complete| {
-        results.push(Matching(complete.clone()));
-        true
-    });
+    let mut results = search.enumerate(config);
     results.sort();
     results.dedup();
 
@@ -366,8 +717,8 @@ pub fn matches_once(pattern: &Pattern, instance: &Instance) -> Result<bool> {
         nodes,
     };
     let mut found = false;
-    let mut binding = BTreeMap::new();
-    search.solve(&mut binding, &mut |_| {
+    let mut frame = search.frame();
+    search.solve(&mut frame, &mut |_| {
         found = true;
         false
     });
@@ -401,25 +752,25 @@ pub fn find_matchings_static_order(
         search: &Search<'_>,
         order: &[NodeId],
         depth: usize,
-        binding: &mut BTreeMap<NodeId, NodeId>,
+        frame: &mut Frame,
         results: &mut Vec<Matching>,
     ) {
         if depth == order.len() {
-            results.push(Matching(binding.clone()));
+            results.push(search.to_matching(frame));
             return;
         }
         let next = order[depth];
-        for candidate in search.candidates(next, binding) {
-            binding.insert(next, candidate);
-            if search.edges_consistent(next, binding) {
-                solve_static(search, order, depth + 1, binding, results);
+        for candidate in search.candidates(next, frame) {
+            frame.bind(next, candidate);
+            if search.edges_consistent(next, frame) {
+                solve_static(search, order, depth + 1, frame, results);
             }
-            binding.remove(&next);
+            frame.unbind(next);
         }
     }
 
     let mut results = Vec::new();
-    solve_static(&search, &order, 0, &mut BTreeMap::new(), &mut results);
+    solve_static(&search, &order, 0, &mut search.frame(), &mut results);
     results.sort();
     results.dedup();
     if pattern.has_negation() {
@@ -723,6 +1074,57 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort();
         assert_eq!(a, sorted);
+    }
+
+    #[test]
+    fn parallel_engine_is_deterministic() {
+        // Force the morsel path (threshold 0) at several worker counts
+        // and demand bit-for-bit equality with the sequential engine,
+        // on a pattern with multiple matchings per root candidate.
+        let (db, _) = small_instance();
+        let mut p = Pattern::new();
+        let x = p.node("Info");
+        let y = p.node("Info");
+        p.edge(x, "links-to", y);
+        let sequential = find_matchings_with(&p, &db, MatchConfig::sequential()).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = find_matchings_with(
+                &p,
+                &db,
+                MatchConfig {
+                    threads,
+                    parallel_threshold: 0,
+                },
+            )
+            .unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_engine_handles_negation_and_empty_pattern() {
+        let (db, _) = small_instance();
+        let config = MatchConfig {
+            threads: 4,
+            parallel_threshold: 0,
+        };
+        let empty = find_matchings_with(&Pattern::new(), &db, config).unwrap();
+        assert_eq!(empty.len(), 1);
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let other = p.negated_node("Info");
+        p.edge(info, "links-to", other);
+        let sequential = find_matchings_with(&p, &db, MatchConfig::sequential()).unwrap();
+        let parallel = find_matchings_with(&p, &db, config).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn default_thread_override_roundtrips() {
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
     }
 
     #[test]

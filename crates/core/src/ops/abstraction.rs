@@ -142,6 +142,7 @@ impl Abstraction {
             existing.insert(member_set, group);
             report.created_nodes.push(group);
         }
+        db.debug_assert_indexes();
         Ok(report)
     }
 }

@@ -186,6 +186,7 @@ impl EdgeAddition {
                 report.edges_added += 1;
             }
         }
+        db.debug_assert_indexes();
         Ok(report)
     }
 }

@@ -63,11 +63,10 @@ impl EdgeDeletion {
             matchings: matchings.len(),
             ..OpReport::default()
         };
-        for (src, label, dst) in doomed {
-            if db.delete_edge_between(src, &label, dst) {
-                report.edges_deleted += 1;
-            }
-        }
+        // Batched application: the deduplicated triple set goes through
+        // one grouped deletion pass (one out-edge scan per source).
+        report.edges_deleted = db.delete_edges_between(doomed);
+        db.debug_assert_indexes();
         Ok(report)
     }
 }

@@ -108,19 +108,28 @@ impl NodeAddition {
             matchings: matchings.len(),
             ..OpReport::default()
         };
+        // Batched application: first precompute the distinct target
+        // vectors still missing a K node (matchings are in canonical
+        // order, so first-seen order is deterministic), then run one
+        // mutation pass over the pending vectors.
+        let mut pending: Vec<Vec<NodeId>> = Vec::new();
+        let mut claimed: BTreeSet<Vec<NodeId>> = BTreeSet::new();
         for matching in &matchings {
             let key: Vec<NodeId> = self.edges.iter().map(|(_, m)| matching.image(*m)).collect();
-            if existing.contains_key(&key) {
+            if existing.contains_key(&key) || !claimed.insert(key.clone()) {
                 continue;
             }
+            pending.push(key);
+        }
+        for key in pending {
             let fresh = db.add_object(self.label.clone())?;
             for ((edge_label, _), target) in self.edges.iter().zip(&key) {
                 db.add_edge(fresh, edge_label.clone(), *target)?;
                 report.edges_added += 1;
             }
-            existing.insert(key, fresh);
             report.created_nodes.push(fresh);
         }
+        db.debug_assert_indexes();
         Ok(report)
     }
 }

@@ -41,16 +41,16 @@ impl NodeDeletion {
             return Err(GoodError::NodeNotInPattern(format!("{:?}", self.target)));
         }
         let matchings = find_matchings(&self.pattern, db)?;
+        // Batched application: the full doomed set is computed from the
+        // matchings (deduplicated — overlapping matchings may share
+        // images), then removed in one pass.
         let doomed: BTreeSet<NodeId> = matchings.iter().map(|m| m.image(self.target)).collect();
         let mut report = OpReport {
             matchings: matchings.len(),
             ..OpReport::default()
         };
-        for node in doomed {
-            if db.delete_node(node) {
-                report.nodes_deleted += 1;
-            }
-        }
+        report.nodes_deleted = db.delete_nodes(doomed);
+        db.debug_assert_indexes();
         Ok(report)
     }
 }

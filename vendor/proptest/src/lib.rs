@@ -1,0 +1,967 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators, macros and runner surface this
+//! workspace uses. Differences from upstream: generation is seeded
+//! deterministically from the test name (fully reproducible runs, no
+//! persisted failure files) and failing cases are not shrunk — the
+//! failing case index and message are reported instead.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `map_fn`.
+        fn prop_map<U, F>(self, map_fn: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map {
+                inner: self,
+                map_fn,
+            }
+        }
+
+        /// Build a recursive strategy: `recurse` receives a strategy
+        /// for the inner level and returns the composite level.
+        /// `depth` bounds the nesting; the size hints are accepted for
+        /// API compatibility but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // Lean toward recursion so deep shapes actually occur;
+                // the leaf keeps generation finite.
+                strat = Union {
+                    arms: vec![(1, leaf.clone()), (3, recurse(strat).boxed())],
+                }
+                .boxed();
+            }
+            strat
+        }
+
+        /// Type-erase into a clonable, shareable strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// Clonable type-erased strategy (upstream: `BoxedStrategy`).
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map_fn: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.map_fn)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type
+    /// (backs `prop_oneof!`).
+    pub struct Union<T> {
+        pub(crate) arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        /// Add an equally-weighted arm (builder-style, used by
+        /// `prop_oneof!` so the value type is inferred from the first
+        /// arm).
+        pub fn or(mut self, strategy: impl Strategy<Value = T> + 'static) -> Self {
+            self.arms.push((1, strategy.boxed()));
+            self
+        }
+
+        /// Add a weighted arm.
+        pub fn or_weighted(
+            mut self,
+            weight: u32,
+            strategy: impl Strategy<Value = T> + 'static,
+        ) -> Self {
+            self.arms.push((weight.max(1), strategy.boxed()));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rand::Rng::gen_range(rng, 0..total);
+            for (weight, strategy) in &self.arms {
+                if pick < *weight as u64 {
+                    return strategy.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weights are positive")
+        }
+    }
+
+    // -- ranges ------------------------------------------------------------
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    // -- `any` -------------------------------------------------------------
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rand::RngCore::next_u64(rng) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Printable ASCII keeps generated text debuggable.
+            rand::Rng::gen_range(rng, 0x20u32..0x7f) as u8 as char
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T> {
+        marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            marker: PhantomData,
+        }
+    }
+
+    // -- tuples ------------------------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Collection size specification (`usize`, `a..b` or `a..=b`).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty collection size range");
+            SizeRange {
+                min: range.start,
+                max_inclusive: range.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max_inclusive: *range.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rand::Rng::gen_range(rng, self.min..=self.max_inclusive)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Bounded attempts: small element domains may not be able
+            // to fill the requested size with distinct values.
+            for _ in 0..target.saturating_mul(4).max(8) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// `BTreeSet` of distinct values from `element`; sizes below the
+    /// requested range may occur when the element domain is small.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // 1-in-4 `None`, matching upstream's default lean toward
+            // `Some`.
+            if rand::Rng::gen_range(rng, 0u8..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `Option` of values from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod string {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Error from [`string_regex`] on unsupported patterns.
+    #[derive(Debug, Clone)]
+    pub struct RegexError(pub String);
+
+    impl std::fmt::Display for RegexError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for RegexError {}
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        /// Inclusive character ranges (single chars are `(c, c)`).
+        Class(Vec<(char, char)>),
+        Group(Vec<(Atom, Quantifier)>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Quantifier {
+        One,
+        Optional,
+        /// `*` / `+`: unbounded above, generation caps the repeat count.
+        AtLeast(u32),
+        /// `{m}` / `{m,n}`.
+        Between(u32, u32),
+    }
+
+    /// Generates strings matching a (restricted) regular expression:
+    /// literals, escapes, character classes with ranges, groups without
+    /// alternation, and the `? * + {m} {m,n}` quantifiers.
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        atoms: Vec<(Atom, Quantifier)>,
+    }
+
+    /// Parse `pattern` into a generation strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, RegexError> {
+        let mut chars = pattern.chars().peekable();
+        let atoms = parse_sequence(&mut chars, pattern, false)?;
+        if chars.next().is_some() {
+            return Err(RegexError(format!("unbalanced `)` in {pattern:?}")));
+        }
+        Ok(RegexStrategy { atoms })
+    }
+
+    type CharStream<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+    fn parse_sequence(
+        chars: &mut CharStream<'_>,
+        pattern: &str,
+        in_group: bool,
+    ) -> Result<Vec<(Atom, Quantifier)>, RegexError> {
+        let mut atoms = Vec::new();
+        while let Some(&ch) = chars.peek() {
+            let atom = match ch {
+                ')' if in_group => break,
+                ')' => return Err(RegexError(format!("unbalanced `)` in {pattern:?}"))),
+                '(' => {
+                    chars.next();
+                    let inner = parse_sequence(chars, pattern, true)?;
+                    if chars.next() != Some(')') {
+                        return Err(RegexError(format!("unclosed `(` in {pattern:?}")));
+                    }
+                    Atom::Group(inner)
+                }
+                '[' => {
+                    chars.next();
+                    Atom::Class(parse_class(chars, pattern)?)
+                }
+                '\\' => {
+                    chars.next();
+                    Atom::Literal(parse_escape(chars, pattern)?)
+                }
+                '|' | '.' | '^' | '$' => {
+                    return Err(RegexError(format!(
+                        "`{ch}` is not supported in {pattern:?}"
+                    )))
+                }
+                _ => {
+                    chars.next();
+                    Atom::Literal(ch)
+                }
+            };
+            let quantifier = parse_quantifier(chars, pattern)?;
+            atoms.push((atom, quantifier));
+        }
+        Ok(atoms)
+    }
+
+    fn parse_escape(chars: &mut CharStream<'_>, pattern: &str) -> Result<char, RegexError> {
+        match chars.next() {
+            Some('n') => Ok('\n'),
+            Some('t') => Ok('\t'),
+            Some('r') => Ok('\r'),
+            Some(
+                c @ ('\\' | '{' | '}' | '(' | ')' | '[' | ']' | '.' | '-' | '*' | '+' | '?' | '|'
+                | '^' | '$' | '"'),
+            ) => Ok(c),
+            other => Err(RegexError(format!(
+                "unsupported escape {other:?} in {pattern:?}"
+            ))),
+        }
+    }
+
+    fn parse_class(
+        chars: &mut CharStream<'_>,
+        pattern: &str,
+    ) -> Result<Vec<(char, char)>, RegexError> {
+        let mut ranges = Vec::new();
+        loop {
+            let ch = match chars.next() {
+                Some(']') => return Ok(ranges),
+                Some('\\') => parse_escape(chars, pattern)?,
+                Some(c) => c,
+                None => return Err(RegexError(format!("unclosed `[` in {pattern:?}"))),
+            };
+            // A `-` forms a range unless it is the final character.
+            if chars.peek() == Some(&'-') {
+                let mut lookahead = chars.clone();
+                lookahead.next();
+                if lookahead.peek() == Some(&']') {
+                    ranges.push((ch, ch));
+                } else {
+                    chars.next();
+                    let end = match chars.next() {
+                        Some('\\') => parse_escape(chars, pattern)?,
+                        Some(c) => c,
+                        None => return Err(RegexError(format!("unclosed `[` in {pattern:?}"))),
+                    };
+                    if end < ch {
+                        return Err(RegexError(format!(
+                            "inverted range {ch:?}-{end:?} in {pattern:?}"
+                        )));
+                    }
+                    ranges.push((ch, end));
+                }
+            } else {
+                ranges.push((ch, ch));
+            }
+        }
+    }
+
+    fn parse_quantifier(
+        chars: &mut CharStream<'_>,
+        pattern: &str,
+    ) -> Result<Quantifier, RegexError> {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Ok(Quantifier::Optional)
+            }
+            Some('*') => {
+                chars.next();
+                Ok(Quantifier::AtLeast(0))
+            }
+            Some('+') => {
+                chars.next();
+                Ok(Quantifier::AtLeast(1))
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        let parse = |s: &str| {
+                            s.trim().parse::<u32>().map_err(|_| {
+                                RegexError(format!("bad quantifier {{{spec}}} in {pattern:?}"))
+                            })
+                        };
+                        return if let Some((low, high)) = spec.split_once(',') {
+                            Ok(Quantifier::Between(parse(low)?, parse(high)?))
+                        } else {
+                            let n = parse(&spec)?;
+                            Ok(Quantifier::Between(n, n))
+                        };
+                    }
+                    spec.push(ch);
+                }
+                Err(RegexError(format!("unclosed `{{` in {pattern:?}")))
+            }
+            _ => Ok(Quantifier::One),
+        }
+    }
+
+    /// Cap for `*`/`+` repeats.
+    const UNBOUNDED_CAP: u32 = 8;
+
+    fn generate_atoms(atoms: &[(Atom, Quantifier)], rng: &mut StdRng, out: &mut String) {
+        for (atom, quantifier) in atoms {
+            let count = match quantifier {
+                Quantifier::One => 1,
+                Quantifier::Optional => rand::Rng::gen_range(rng, 0u32..2),
+                Quantifier::AtLeast(min) => rand::Rng::gen_range(rng, *min..=UNBOUNDED_CAP),
+                Quantifier::Between(low, high) => rand::Rng::gen_range(rng, *low..=*high),
+            };
+            for _ in 0..count {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u32 = ranges
+                            .iter()
+                            .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                            .sum();
+                        let mut pick = rand::Rng::gen_range(rng, 0..total);
+                        for (lo, hi) in ranges {
+                            let span = *hi as u32 - *lo as u32 + 1;
+                            if pick < span {
+                                out.push(
+                                    char::from_u32(*lo as u32 + pick).expect("valid class char"),
+                                );
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Atom::Group(inner) => generate_atoms(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            generate_atoms(&self.atoms, rng, &mut out);
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Runner configuration (upstream: `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    /// The prelude re-exports this alias, matching upstream.
+    pub use self::Config as ProptestConfig;
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Config { cases }
+        }
+    }
+
+    /// Failure of a single generated case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Failure of a whole run.
+    #[derive(Debug, Clone)]
+    pub struct TestError {
+        pub case: u32,
+        pub message: String,
+    }
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "case {} failed: {}", self.case, self.message)
+        }
+    }
+
+    impl std::error::Error for TestError {}
+
+    /// Deterministic RNG for a named test.
+    pub fn rng_for(name: &str) -> StdRng {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+
+    /// Explicit runner (upstream: `TestRunner`).
+    pub struct TestRunner {
+        config: Config,
+        rng: StdRng,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::new(Config::default())
+        }
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            TestRunner {
+                config,
+                rng: rng_for("proptest::test_runner::TestRunner"),
+            }
+        }
+
+        /// Run `test` against `config.cases` generated inputs.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), TestError> {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                match test(value) {
+                    Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(message)) => {
+                        return Err(TestError { case, message });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+
+/// Choose uniformly (or weighted with `w => strat` arms) between
+/// strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {{
+        let union = $crate::strategy::Union::new();
+        $(let union = union.or_weighted($weight, $strategy);)+
+        union
+    }};
+    ($($strategy:expr),+ $(,)?) => {{
+        let union = $crate::strategy::Union::new();
+        $(let union = union.or($strategy);)+
+        union
+    }};
+}
+
+/// Assert inside a proptest body (returns a `TestCaseError` failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left == *__right,
+                    "assertion failed: `{:?}` != `{:?}`",
+                    __left,
+                    __right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(*__left == *__right, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left != *__right,
+                    "assertion failed: `{:?}` == `{:?}`",
+                    __left,
+                    __right
+                );
+            }
+        }
+    };
+}
+
+/// Define property tests. Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property(x in 0u8..10, ys in arb_vec()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+            for __case in 0..__config.cases {
+                let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(())
+                    | ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__message)) => {
+                        panic!(
+                            "proptest `{}` failed at case {}: {}",
+                            stringify!($name),
+                            __case,
+                            __message
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = rng_for("ranges");
+        let strategy = 3u8..9;
+        for _ in 0..200 {
+            let v = Strategy::generate(&strategy, &mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_union_covers_all_arms() {
+        let mut rng = rng_for("arms");
+        let strategy = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(Strategy::generate(&strategy, &mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_shapes() {
+        let strategy = crate::string::string_regex("[ -~\n]{0,80}").unwrap();
+        let mut rng = rng_for("regex");
+        for _ in 0..50 {
+            let s = Strategy::generate(&strategy, &mut rng);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        let braced = crate::string::string_regex(
+            r#"\{( *[a-z]{1,3}[:;!=-]{1,3}[A-Za-z0-9"(){}]{0,8} *)*\}?"#,
+        )
+        .unwrap();
+        for _ in 0..50 {
+            let s = Strategy::generate(&braced, &mut rng);
+            assert!(s.starts_with('{'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_form_works(x in 0u8..10, flag in any::<bool>()) {
+            prop_assert!(x < 10);
+            if flag {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream's visitor-based zero-copy architecture, this
+//! crate uses a simple owned data-model tree ([`Content`]): types
+//! serialize *into* a `Content` and deserialize *from* one. The sibling
+//! `serde_json` stand-in converts `Content` to and from JSON text with
+//! the same conventions as real `serde_json` (externally tagged enums,
+//! newtype forwarding, `null` for `None`, arrays for sequences and
+//! tuples, objects for maps and named structs), so persisted artifacts
+//! stay compatible for every type this workspace defines.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped owned tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered map entries (keys may be any content; the JSON
+    /// layer restricts them to strings and integers).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::Int(_) => "integer",
+            Content::Float(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Total order over contents, used to give `HashMap`/`HashSet`
+/// serialization a deterministic entry order.
+pub fn content_cmp(a: &Content, b: &Content) -> Ordering {
+    fn rank(c: &Content) -> u8 {
+        match c {
+            Content::Null => 0,
+            Content::Bool(_) => 1,
+            Content::Int(_) => 2,
+            Content::Float(_) => 3,
+            Content::Str(_) => 4,
+            Content::Seq(_) => 5,
+            Content::Map(_) => 6,
+        }
+    }
+    match (a, b) {
+        (Content::Bool(x), Content::Bool(y)) => x.cmp(y),
+        (Content::Int(x), Content::Int(y)) => x.cmp(y),
+        (Content::Float(x), Content::Float(y)) => x.total_cmp(y),
+        (Content::Str(x), Content::Str(y)) => x.cmp(y),
+        (Content::Seq(x), Content::Seq(y)) => {
+            for (l, r) in x.iter().zip(y.iter()) {
+                let ord = content_cmp(l, r);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Content::Map(x), Content::Map(y)) => {
+            for ((lk, lv), (rk, rv)) in x.iter().zip(y.iter()) {
+                let ord = content_cmp(lk, rk).then_with(|| content_cmp(lv, rv));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub fn custom<T: fmt::Display>(message: T) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into the [`Content`] data model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be reconstructed from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code (and by serde_json).
+
+#[doc(hidden)]
+pub mod __private {
+    use super::{Content, Error};
+
+    pub fn expect_map<'a>(
+        content: &'a Content,
+        context: &str,
+    ) -> Result<&'a [(Content, Content)], Error> {
+        match content {
+            Content::Map(entries) => Ok(entries),
+            other => Err(Error::custom(format!(
+                "invalid type for {context}: expected map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn expect_seq<'a>(
+        content: &'a Content,
+        len: usize,
+        context: &str,
+    ) -> Result<&'a [Content], Error> {
+        match content {
+            Content::Seq(items) if items.len() == len => Ok(items),
+            Content::Seq(items) => Err(Error::custom(format!(
+                "invalid length for {context}: expected {len}, found {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "invalid type for {context}: expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn map_field<'a>(
+        entries: &'a [(Content, Content)],
+        name: &str,
+        context: &str,
+    ) -> Result<&'a Content, Error> {
+        entries
+            .iter()
+            .find(|(key, _)| matches!(key, Content::Str(s) if s == name))
+            .map(|(_, value)| value)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}` in {context}")))
+    }
+
+    /// Decode an externally-tagged enum: either a bare string (unit
+    /// variant) or a single-entry map `{tag: payload}`.
+    pub fn variant<'a>(
+        content: &'a Content,
+        context: &str,
+    ) -> Result<(&'a str, Option<&'a Content>), Error> {
+        match content {
+            Content::Str(tag) => Ok((tag, None)),
+            Content::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Content::Str(tag), payload) => Ok((tag, Some(payload))),
+                _ => Err(Error::custom(format!(
+                    "invalid enum tag for {context}: expected string key"
+                ))),
+            },
+            other => Err(Error::custom(format!(
+                "invalid type for enum {context}: expected string or single-entry map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn variant_payload<'a>(
+        payload: Option<&'a Content>,
+        variant: &str,
+    ) -> Result<&'a Content, Error> {
+        payload.ok_or_else(|| Error::custom(format!("variant `{variant}` expects a payload")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Int(value) => <$ty>::try_from(*value).map_err(|_| {
+                        Error::custom(format!(
+                            "integer {value} out of range for {}",
+                            stringify!($ty)
+                        ))
+                    }),
+                    Content::Float(value) if value.fract() == 0.0 => Ok(*value as $ty),
+                    other => Err(Error::custom(format!(
+                        "invalid type: expected {}, found {}",
+                        stringify!($ty),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Float(value) => Ok(*value as $ty),
+                    Content::Int(value) => Ok(*value as $ty),
+                    other => Err(Error::custom(format!(
+                        "invalid type: expected {}, found {}",
+                        stringify!($ty),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(value) => Ok(*value),
+            other => Err(Error::custom(format!(
+                "invalid type: expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::custom(format!(
+                "invalid type: expected single-character string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "invalid type: expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pointer / wrapper impls.
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Arc::new)
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        String::from_content(content).map(Arc::from)
+    }
+}
+
+impl Deserialize for Box<str> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        String::from_content(content).map(Box::from)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences and maps.
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!(
+                "invalid type: expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!(
+                "invalid type: expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by(content_cmp);
+        Content::Seq(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!(
+                "invalid type: expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+fn map_from_content<K: Deserialize, V: Deserialize>(
+    content: &Content,
+) -> Result<Vec<(K, V)>, Error> {
+    match content {
+        Content::Map(entries) => entries
+            .iter()
+            .map(|(key, value)| Ok((K::from_content(key)?, V::from_content(value)?)))
+            .collect(),
+        other => Err(Error::custom(format!(
+            "invalid type: expected map, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(key, value)| (key.to_content(), value.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(map_from_content::<K, V>(content)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(key, value)| (key.to_content(), value.to_content()))
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| content_cmp(a, b));
+        Content::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(map_from_content::<K, V>(content)?.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples.
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = __private::expect_seq(content, LEN, "tuple")?;
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_content(&42i64.to_content()).unwrap(), 42);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_content(&None::<u8>.to_content()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn maps_roundtrip() {
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1u32);
+        map.insert("b".to_string(), 2u32);
+        let back = BTreeMap::<String, u32>::from_content(&map.to_content()).unwrap();
+        assert_eq!(map, back);
+    }
+}

@@ -1,0 +1,569 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! subset of Rust item shapes this workspace actually uses, directly on
+//! `proc_macro` token streams (the environment has no registry access,
+//! so `syn`/`quote` are unavailable). Supported:
+//!
+//! - named, tuple, newtype and unit structs (with type generics),
+//! - enums with unit, newtype, tuple and struct variants,
+//! - container attributes `#[serde(transparent)]`,
+//!   `#[serde(try_from = "Type")]` and `#[serde(into = "Type")]`.
+//!
+//! The generated code targets the data model of the sibling `serde`
+//! stand-in crate (`Content` trees) and mirrors upstream serde's
+//! externally-tagged JSON layout, so `serde_json` output is compatible
+//! with what the real crates would produce for these types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape of the input item.
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; the count is all we need.
+    Tuple(usize),
+    /// Named field identifiers in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    attrs: ContainerAttrs,
+    name: String,
+    /// Type-parameter identifiers (lifetimes/consts are not supported).
+    generics: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing.
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Parser {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consume `#[...]` attributes, collecting serde container options.
+    fn attrs(&mut self, out: &mut ContainerAttrs) {
+        loop {
+            let is_attr = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_attr {
+                return;
+            }
+            self.pos += 1;
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                _ => continue,
+            };
+            let mut arg_parser = Parser::new(args);
+            while let Some(tok) = arg_parser.next() {
+                let TokenTree::Ident(key) = tok else { continue };
+                let key = key.to_string();
+                match key.as_str() {
+                    "transparent" => out.transparent = true,
+                    "try_from" | "into" => {
+                        if !arg_parser.eat_punct('=') {
+                            panic!("serde derive: expected `= \"Type\"` after `{key}`");
+                        }
+                        let value = match arg_parser.next() {
+                            Some(TokenTree::Literal(lit)) => unquote(&lit.to_string()),
+                            other => {
+                                panic!("serde derive: expected string after {key}, found {other:?}")
+                            }
+                        };
+                        if key == "try_from" {
+                            out.try_from = Some(value);
+                        } else {
+                            out.into = Some(value);
+                        }
+                    }
+                    other => panic!("serde derive: unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+    }
+
+    /// Skip `pub` / `pub(crate)` style visibility.
+    fn visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Parse `<A, B, ...>` returning the type-parameter names.
+    fn generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        if !self.eat_punct('<') {
+            return params;
+        }
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => {
+                        depth += 1;
+                        at_param_start = false;
+                    }
+                    '>' => {
+                        depth -= 1;
+                        at_param_start = false;
+                    }
+                    ',' => at_param_start = depth == 1,
+                    _ => at_param_start = false,
+                },
+                Some(TokenTree::Ident(id)) => {
+                    if depth == 1 && at_param_start {
+                        params.push(id.to_string());
+                    }
+                    at_param_start = false;
+                }
+                Some(_) => at_param_start = false,
+                None => panic!("serde derive: unterminated generics"),
+            }
+        }
+        params
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Split a field-list token stream on top-level commas (angle-bracket
+/// depth aware: `BTreeMap<K, V>` is one segment).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut depth = 0usize;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    segments.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segments.last_mut().expect("nonempty").push(tok);
+    }
+    segments.retain(|seg| !seg.is_empty());
+    segments
+}
+
+/// Parse the fields of a braces group: `name: Type, ...` (attributes and
+/// visibility allowed per field).
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut parser = Parser {
+                tokens: segment,
+                pos: 0,
+            };
+            parser.attrs(&mut ContainerAttrs::default());
+            parser.visibility();
+            let name = parser.expect_ident();
+            if !parser.eat_punct(':') {
+                panic!("serde derive: expected `:` after field `{name}`");
+            }
+            name
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut parser = Parser::new(input);
+    let mut attrs = ContainerAttrs::default();
+    parser.attrs(&mut attrs);
+    parser.visibility();
+    let kind = parser.expect_ident();
+    let name = parser.expect_ident();
+    let generics = parser.generics();
+    match kind.as_str() {
+        "struct" => {
+            let fields = match parser.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde derive: unsupported struct body {other:?}"),
+            };
+            Item {
+                attrs,
+                name,
+                generics,
+                body: Body::Struct(fields),
+            }
+        }
+        "enum" => {
+            let group = match parser.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde derive: expected enum body, found {other:?}"),
+            };
+            let mut body = Parser::new(group.stream());
+            let mut variants = Vec::new();
+            loop {
+                body.attrs(&mut ContainerAttrs::default());
+                if body.peek().is_none() {
+                    break;
+                }
+                let vname = body.expect_ident();
+                let fields = match body.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let stream = g.stream();
+                        body.pos += 1;
+                        Fields::Named(named_fields(stream))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let stream = g.stream();
+                        body.pos += 1;
+                        Fields::Tuple(split_top_level(stream).len())
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+                if !body.eat_punct(',') {
+                    break;
+                }
+            }
+            Item {
+                attrs,
+                name,
+                generics,
+                body: Body::Enum(variants),
+            }
+        }
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, parsed back into a TokenStream).
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    let item = parse_item(input);
+    let code = match direction {
+        Direction::Serialize => gen_serialize(&item),
+        Direction::Deserialize => gen_deserialize(&item),
+    };
+    code.parse()
+        .unwrap_or_else(|err| panic!("serde derive: generated invalid code: {err:?}\n{code}"))
+}
+
+/// `impl<T: ::serde::Serialize> ::serde::Serialize for Foo<T>` header.
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let bounded: Vec<String> = item
+        .generics
+        .iter()
+        .map(|p| format!("{p}: ::serde::{trait_name}"))
+        .collect();
+    let params = item.generics.join(", ");
+    let mut header = String::new();
+    if bounded.is_empty() {
+        let _ = write!(header, "impl ::serde::{trait_name} for {}", item.name);
+    } else {
+        let _ = write!(
+            header,
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            params
+        );
+    }
+    header
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "Serialize");
+    let body = if let Some(proxy) = &item.attrs.into {
+        format!(
+            "let __proxy: {proxy} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_content(&__proxy)"
+        )
+    } else {
+        match &item.body {
+            Body::Struct(fields) => serialize_fields(fields, "self.", None),
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for variant in variants {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => {
+                            let _ = write!(
+                                arms,
+                                "Self::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\")),\n"
+                            );
+                        }
+                        Fields::Tuple(count) => {
+                            let binders: Vec<String> =
+                                (0..*count).map(|i| format!("__f{i}")).collect();
+                            let payload = if *count == 1 {
+                                "::serde::Serialize::to_content(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+                            };
+                            let _ = write!(
+                                arms,
+                                "Self::{vname}({}) => ::serde::Content::Map(vec![(\
+                                 ::serde::Content::Str(::std::string::String::from(\"{vname}\")), {payload})]),\n",
+                                binders.join(", ")
+                            );
+                        }
+                        Fields::Named(names) => {
+                            let entries: Vec<String> = names
+                                .iter()
+                                .map(|n| {
+                                    format!(
+                                        "(::serde::Content::Str(::std::string::String::from(\"{n}\")), \
+                                         ::serde::Serialize::to_content({n}))"
+                                    )
+                                })
+                                .collect();
+                            let _ = write!(
+                                arms,
+                                "Self::{vname} {{ {} }} => ::serde::Content::Map(vec![(\
+                                 ::serde::Content::Str(::std::string::String::from(\"{vname}\")), \
+                                 ::serde::Content::Map(vec![{}]))]),\n",
+                                names.join(", "),
+                                entries.join(", ")
+                            );
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Serialize struct-style fields reached through `prefix` (e.g. `self.`).
+fn serialize_fields(fields: &Fields, prefix: &str, _variant: Option<&str>) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Null".to_string(),
+        Fields::Tuple(1) => format!("::serde::Serialize::to_content(&{prefix}0)"),
+        Fields::Tuple(count) => {
+            let elems: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::Serialize::to_content(&{prefix}{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "(::serde::Content::Str(::std::string::String::from(\"{n}\")), \
+                         ::serde::Serialize::to_content(&{prefix}{n}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.attrs.try_from {
+        format!(
+            "let __proxy: {proxy} = ::serde::Deserialize::from_content(content)?;\n\
+             ::std::convert::TryFrom::try_from(__proxy).map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &item.body {
+            Body::Struct(fields) => {
+                deserialize_fields(fields, &format!("{name} "), "content", name)
+            }
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for variant in variants {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => {
+                            let _ = write!(
+                                arms,
+                                "\"{vname}\" => ::std::result::Result::Ok(Self::{vname}),\n"
+                            );
+                        }
+                        fields => {
+                            let build = deserialize_fields(
+                                fields,
+                                &format!("Self::{vname}"),
+                                "__payload",
+                                &format!("{name}::{vname}"),
+                            );
+                            let _ = write!(
+                                arms,
+                                "\"{vname}\" => {{\n\
+                                 let __payload = ::serde::__private::variant_payload(__payload, \"{vname}\")?;\n\
+                                 {build}\n}}\n"
+                            );
+                        }
+                    }
+                }
+                format!(
+                    "let (__tag, __payload) = ::serde::__private::variant(content, \"{name}\")?;\n\
+                     match __tag {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+/// Deserialize struct-style fields, constructing via `ctor` (either
+/// `Name ` for structs or `Self::Variant` for enum variants).
+fn deserialize_fields(fields: &Fields, ctor: &str, source: &str, context: &str) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({ctor})"),
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({ctor}(::serde::Deserialize::from_content({source})?))"
+        ),
+        Fields::Tuple(count) => {
+            let elems: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = ::serde::__private::expect_seq({source}, {count}, \"{context}\")?;\n\
+                 ::std::result::Result::Ok({ctor}({}))",
+                elems.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "{n}: ::serde::Deserialize::from_content(\
+                         ::serde::__private::map_field(__entries, \"{n}\", \"{context}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __entries = ::serde::__private::expect_map({source}, \"{context}\")?;\n\
+                 ::std::result::Result::Ok({ctor} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+    }
+}
