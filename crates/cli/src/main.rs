@@ -112,6 +112,77 @@ fn main() {
         args.drain(position..=position + 1);
     }
 
+    // --fault-seed N [--fault-crash-at K]: developer fault-injection
+    // mode. Runs the store's deterministic crash-recovery torture
+    // harness — the full crash-point sweep for the seed, or a single
+    // schedule when --fault-crash-at is given (the reproduction line
+    // printed by torture failures). Exits 0 when every schedule
+    // recovers to a committed prefix, 1 with the fault log otherwise.
+    if let Some(position) = args.iter().position(|a| a == "--fault-seed") {
+        let Some(value) = args.get(position + 1) else {
+            eprintln!("error: --fault-seed requires a seed");
+            std::process::exit(1);
+        };
+        let seed = match value.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => {
+                eprintln!("error: bad fault seed {value:?}");
+                std::process::exit(1);
+            }
+        };
+        args.drain(position..=position + 1);
+        let mut crash_at = None;
+        if let Some(position) = args.iter().position(|a| a == "--fault-crash-at") {
+            let Some(value) = args.get(position + 1) else {
+                eprintln!("error: --fault-crash-at requires an operation index");
+                std::process::exit(1);
+            };
+            match value.parse::<u64>() {
+                Ok(op) => crash_at = Some(op),
+                Err(_) => {
+                    eprintln!("error: bad crash point {value:?}");
+                    std::process::exit(1);
+                }
+            }
+            args.drain(position..=position + 1);
+        }
+        let config = good_store::torture::TortureConfig {
+            seed,
+            ..good_store::torture::TortureConfig::default()
+        };
+        match crash_at {
+            Some(op) => match good_store::torture::crash_schedule(&config, op) {
+                Ok(outcome) => {
+                    for line in &outcome.fault_log {
+                        println!("{line}");
+                    }
+                    println!(
+                        "crash at op {}: acked {}, recovered to committed state {} of [{}, {}]",
+                        outcome.crash_at,
+                        outcome.acked,
+                        outcome
+                            .recovered_to
+                            .map_or_else(|| "none (pre-create)".into(), |j| j.to_string()),
+                        outcome.acked,
+                        outcome.attempted
+                    );
+                }
+                Err(failure) => {
+                    eprintln!("{failure}");
+                    std::process::exit(1);
+                }
+            },
+            None => match good_store::torture::crash_sweep(&config) {
+                Ok(report) => println!("seed {seed}: {}", report.summary()),
+                Err(failure) => {
+                    eprintln!("{failure}");
+                    std::process::exit(1);
+                }
+            },
+        }
+        return;
+    }
+
     let mut session = Session::new();
 
     // -c "commands" mode.

@@ -79,6 +79,149 @@ fn script_errors_exit_nonzero() {
 }
 
 #[test]
+fn save_and_load_round_trip() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("good-cli-save-{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf8 temp path");
+    let output = binary()
+        .arg("-c")
+        .arg(format!(
+            "{SETUP}; insert Info as a; insert Info as b; edge a links-to b; \
+             save {path_str}; load {path_str}; stats"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains(&format!("saved to {path_str}")), "{stdout}");
+    assert!(stdout.contains(&format!("loaded {path_str}")), "{stdout}");
+    assert!(stdout.contains("2 nodes, 1 edges"), "{stdout}");
+    std::fs::remove_file(path).expect("cleanup");
+}
+
+#[test]
+fn load_missing_file_exits_nonzero_with_message() {
+    let output = binary()
+        .arg("-c")
+        .arg("load /nonexistent/good-db-missing.json")
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(
+        stderr.contains("No such file") || stderr.contains("not found"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn load_corrupt_file_exits_nonzero_with_parse_error() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("good-cli-corrupt-{}.json", std::process::id()));
+    std::fs::write(&path, "{\"nodes\": [truncated").expect("write corrupt file");
+    let output = binary()
+        .arg("-c")
+        .arg(format!("load {}", path.display()))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    std::fs::remove_file(path).expect("cleanup");
+}
+
+#[test]
+fn save_without_an_open_base_exits_nonzero() {
+    let output = binary()
+        .arg("-c")
+        .arg("save /tmp/good-db-never-written.json")
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no open object base"), "{stderr}");
+}
+
+#[test]
+fn save_to_unwritable_path_exits_nonzero() {
+    let output = binary()
+        .arg("-c")
+        .arg(format!(
+            "{SETUP}; insert Info as a; save /nonexistent-dir/out.json"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn load_over_an_existing_session_invalidates_handles() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("good-cli-handles-{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf8 temp path");
+    // `load` replaces the instance, so handles created before it must
+    // not silently point at nodes of the new base.
+    let output = binary()
+        .arg("-c")
+        .arg(format!(
+            "{SETUP}; insert Info as a; save {path_str}; load {path_str}; \
+             edge a links-to a"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown handle a"), "{stderr}");
+    std::fs::remove_file(path).expect("cleanup");
+}
+
+#[test]
+fn fault_seed_flag_runs_a_crash_sweep() {
+    let output = binary()
+        .arg("--fault-seed")
+        .arg("11")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("crash schedules recovered to a committed prefix"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn fault_crash_at_flag_replays_one_schedule_with_its_log() {
+    let output = binary()
+        .args(["--fault-seed", "11", "--fault-crash-at", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("CRASH"), "{stdout}");
+    assert!(stdout.contains("crash at op 5"), "{stdout}");
+}
+
+#[test]
+fn fault_crash_at_out_of_range_exits_nonzero() {
+    let output = binary()
+        .args(["--fault-seed", "11", "--fault-crash-at", "999999"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("out of range"), "{stderr}");
+}
+
+#[test]
 fn repl_reads_multiline_patterns_from_stdin() {
     let mut child = binary()
         .stdin(Stdio::piped())

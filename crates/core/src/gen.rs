@@ -8,6 +8,10 @@
 //! paper's running example, scaled.
 
 use crate::instance::Instance;
+use crate::label::Label;
+use crate::ops::{EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion};
+use crate::pattern::Pattern;
+use crate::program::{Operation, Program};
 use crate::scheme::{Scheme, SchemeBuilder};
 use crate::value::{Value, ValueType};
 use good_graph::NodeId;
@@ -104,6 +108,91 @@ pub fn random_instance(config: &GenConfig) -> Instance {
     db
 }
 
+/// A deterministic mixed mutation workload over [`bench_scheme`]:
+/// `count` programs drawn from a seeded generator, exercising node
+/// additions (plain and tagging), multivalued edge additions, node and
+/// edge deletions, and multi-op atomic programs. The store torture
+/// harness replays these against a durability oracle; equal seeds
+/// generate equal programs.
+pub fn random_workload(seed: u64, count: usize) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut introduced: Vec<usize> = Vec::new();
+    (0..count)
+        .map(|step| random_program(step, &mut rng, &mut introduced))
+        .collect()
+}
+
+/// One workload program (see [`random_workload`]). The first two steps
+/// always seed `Info` objects so later pattern-driven programs have
+/// material to match against; `introduced` tracks which tag classes
+/// exist so deletion patterns never name a label the scheme has not
+/// yet learned.
+fn random_program(step: usize, rng: &mut StdRng, introduced: &mut Vec<usize>) -> Program {
+    fn seed_info() -> Operation {
+        Operation::NodeAdd(NodeAddition::new(Pattern::new(), "Info", []))
+    }
+    fn tag_op(k: usize) -> Operation {
+        let mut pattern = Pattern::new();
+        let info = pattern.node("Info");
+        Operation::NodeAdd(NodeAddition::new(
+            pattern,
+            format!("Tag{k}").as_str(),
+            [(Label::new("of"), info)],
+        ))
+    }
+    if step < 2 {
+        return Program::from_ops([seed_info()]);
+    }
+    match rng.gen_range(0u32..10) {
+        0..=1 => Program::from_ops([seed_info()]),
+        2..=4 => {
+            // Tag every Info (idempotent on repeat: NA dedups).
+            let k = rng.gen_range(0usize..3);
+            if !introduced.contains(&k) {
+                introduced.push(k);
+            }
+            Program::from_ops([tag_op(k)])
+        }
+        5..=6 => {
+            // Link every ordered Info pair.
+            let mut pattern = Pattern::new();
+            let a = pattern.node("Info");
+            let b = pattern.node("Info");
+            Program::from_ops([Operation::EdgeAdd(EdgeAddition::multivalued(
+                pattern, a, "links-to", b,
+            ))])
+        }
+        7 => {
+            // Multi-op program: a fresh Info plus a tagging pass over
+            // the grown instance — the journal must apply it atomically.
+            let k = rng.gen_range(0usize..3);
+            if !introduced.contains(&k) {
+                introduced.push(k);
+            }
+            Program::from_ops([seed_info(), tag_op(k)])
+        }
+        8 if !introduced.is_empty() => {
+            // Delete one introduced tag class wholesale (the label
+            // stays in the scheme even after its population empties).
+            let k = introduced[rng.gen_range(0..introduced.len())];
+            let mut pattern = Pattern::new();
+            let target = pattern.node(format!("Tag{k}").as_str());
+            Program::from_ops([Operation::NodeDel(NodeDeletion::new(pattern, target))])
+        }
+        8 => Program::from_ops([seed_info()]),
+        _ => {
+            // Drop every links-to edge.
+            let mut pattern = Pattern::new();
+            let a = pattern.node("Info");
+            let b = pattern.node("Info");
+            pattern.edge(a, "links-to", b);
+            Program::from_ops([Operation::EdgeDel(EdgeDeletion::single(
+                pattern, a, "links-to", b,
+            ))])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +257,32 @@ mod tests {
             ..GenConfig::default()
         });
         assert!(db.label_count(&"Date".into()) <= 3);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_in_the_seed() {
+        let a = random_workload(9, 20);
+        let b = random_workload(9, 20);
+        let as_json = |ps: &[crate::program::Program]| {
+            ps.iter()
+                .map(|p| serde_json::to_string(p).expect("serialize"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(as_json(&a), as_json(&b));
+        assert!(as_json(&a) != as_json(&random_workload(10, 20)));
+    }
+
+    #[test]
+    fn workload_programs_apply_cleanly_and_validate() {
+        use crate::program::{Env, DEFAULT_FUEL};
+        for seed in 0..4 {
+            let mut db = Instance::new(bench_scheme());
+            let mut env = Env::with_fuel(DEFAULT_FUEL);
+            for program in random_workload(seed, 24) {
+                env.refuel();
+                program.apply(&mut db, &mut env).expect("workload applies");
+            }
+            db.validate().expect("workload leaves a valid instance");
+        }
     }
 }

@@ -1,0 +1,201 @@
+//! Journal record framing: JSON lines, byte-accurate scanning, and the
+//! torn-tail rules.
+//!
+//! A journal is a sequence of newline-terminated JSON records. The
+//! scanner enforces the crash-recovery contract:
+//!
+//! * every intact record is **newline-terminated** — an unterminated
+//!   final segment is a torn append, *even if the JSON happens to
+//!   parse* (the record was never acknowledged, and appending after it
+//!   without truncation would concatenate two records on one line);
+//! * a final newline-terminated segment that fails to parse is also
+//!   treated as torn (on real disks a crashed multi-sector write can
+//!   persist the trailing sector without the leading one);
+//! * a parse failure anywhere *earlier* is corruption, reported with
+//!   its 1-based line number — never silently truncated.
+
+use crate::vfs::VfsFile;
+use crate::{Result, StoreError};
+use good_core::instance::Instance;
+use good_core::method::Method;
+use good_core::program::Program;
+use serde::{Deserialize, Serialize};
+
+/// One journal record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A full snapshot of the instance — the first record of every
+    /// journal generation.
+    Snapshot(Box<Instance>),
+    /// A method registration.
+    RegisterMethod(Box<Method>),
+    /// An applied program.
+    Apply(Program),
+}
+
+/// The outcome of scanning a journal byte-for-byte.
+#[derive(Debug)]
+pub(crate) struct JournalScan {
+    /// Intact records with their 1-based line numbers.
+    pub records: Vec<(usize, LogRecord)>,
+    /// True if a torn tail (crash mid-append) was detected.
+    pub torn_tail: bool,
+    /// Byte length of the intact prefix; a torn tail is truncated to
+    /// this length before the journal accepts new appends.
+    pub intact_len: u64,
+}
+
+/// Scan raw journal bytes into records, detecting a torn tail.
+pub(crate) fn scan(bytes: &[u8]) -> Result<JournalScan> {
+    let mut records = Vec::new();
+    let mut torn_tail = false;
+    let mut intact_len = 0u64;
+    let mut offset = 0usize;
+    let mut line = 0usize;
+    while offset < bytes.len() {
+        line += 1;
+        let (segment, segment_end, terminated) =
+            match bytes[offset..].iter().position(|&b| b == b'\n') {
+                Some(i) => (&bytes[offset..offset + i], offset + i + 1, true),
+                None => (&bytes[offset..], bytes.len(), false),
+            };
+        let is_final = segment_end == bytes.len();
+        if segment.iter().all(u8::is_ascii_whitespace) {
+            // Blank lines are tolerated but an unterminated whitespace
+            // tail is still torn debris to truncate.
+            if terminated {
+                intact_len = segment_end as u64;
+            } else {
+                torn_tail = true;
+            }
+            offset = segment_end;
+            continue;
+        }
+        if !terminated {
+            torn_tail = true;
+            break;
+        }
+        let parsed = std::str::from_utf8(segment)
+            .map_err(|err| err.to_string())
+            .and_then(|text| {
+                serde_json::from_str::<LogRecord>(text).map_err(|err| err.to_string())
+            });
+        match parsed {
+            Ok(record) => {
+                records.push((line, record));
+                intact_len = segment_end as u64;
+            }
+            Err(err) => {
+                if is_final {
+                    torn_tail = true;
+                } else {
+                    return Err(StoreError::Corrupt {
+                        line,
+                        message: err.to_string(),
+                    });
+                }
+            }
+        }
+        offset = segment_end;
+    }
+    Ok(JournalScan {
+        records,
+        torn_tail,
+        intact_len,
+    })
+}
+
+/// Serialize `record` as one newline-terminated JSON line, append it,
+/// and fdatasync. A serialization failure happens before any byte
+/// reaches the file; an I/O failure may leave a torn or un-durable
+/// record behind (the caller decides whether to poison).
+pub(crate) fn append_record(file: &mut dyn VfsFile, record: &LogRecord) -> Result<()> {
+    let mut line = serde_json::to_string(record).map_err(|err| StoreError::Corrupt {
+        line: 0,
+        message: err.to_string(),
+    })?;
+    line.push('\n');
+    file.append(line.as_bytes())?;
+    file.sync_data()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use good_core::scheme::Scheme;
+
+    fn snapshot_line() -> String {
+        let db = Instance::new(Scheme::new());
+        let mut line =
+            serde_json::to_string(&LogRecord::Snapshot(Box::new(db))).expect("serialize");
+        line.push('\n');
+        line
+    }
+
+    #[test]
+    fn clean_journal_scans_fully() {
+        let text = snapshot_line();
+        let scan = scan(text.as_bytes()).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.intact_len, text.len() as u64);
+    }
+
+    #[test]
+    fn unterminated_parseable_tail_is_torn() {
+        // The torn write happens to stop exactly at the closing brace:
+        // the JSON parses, but the missing newline marks it torn.
+        let mut text = snapshot_line();
+        let full = text.clone();
+        text.push_str(full.trim_end());
+        let scan = scan(text.as_bytes()).unwrap();
+        assert_eq!(scan.records.len(), 1, "the tail must not be replayed");
+        assert!(scan.torn_tail);
+        assert_eq!(scan.intact_len, full.len() as u64);
+    }
+
+    #[test]
+    fn unterminated_garbage_tail_is_torn() {
+        let mut text = snapshot_line();
+        let intact = text.len();
+        text.push_str("{\"Apply\":{\"ops\":[");
+        let scan = scan(text.as_bytes()).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn_tail);
+        assert_eq!(scan.intact_len, intact as u64);
+    }
+
+    #[test]
+    fn terminated_garbage_final_line_is_torn_not_corrupt() {
+        let mut text = snapshot_line();
+        let intact = text.len();
+        text.push_str("sector-salad}\n");
+        let scan = scan(text.as_bytes()).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.intact_len, intact as u64);
+    }
+
+    #[test]
+    fn garbage_before_the_end_is_corruption() {
+        let mut text = snapshot_line();
+        text.push_str("garbage\n");
+        text.push_str(&snapshot_line());
+        match scan(text.as_bytes()) {
+            Err(StoreError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_but_counted() {
+        let mut text = snapshot_line();
+        text.push('\n');
+        text.push_str("garbage\n");
+        text.push_str(&snapshot_line());
+        match scan(text.as_bytes()) {
+            Err(StoreError::Corrupt { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+}

@@ -12,10 +12,21 @@
 //!   committed — a failing program can neither corrupt the in-memory
 //!   instance nor the journal;
 //! * **crash recovery**: a torn final record (the classic
-//!   crash-during-append) is detected and ignored on open; corruption
-//!   anywhere earlier is an error, not a silent truncation;
+//!   crash-during-append) is detected, ignored, and truncated on open;
+//!   corruption anywhere earlier is an error, not a silent truncation;
 //! * **checkpointing**: collapse the journal into a fresh snapshot,
-//!   written to a temporary file and atomically renamed into place.
+//!   written to a temporary file, atomically renamed into place, and
+//!   made durable with a parent-directory fsync;
+//! * **poisoning**: if an append cannot be made durably (the write or
+//!   its fsync fails), the record's durability is unknowable, so the
+//!   store rejects all further mutations until reopened — committed
+//!   state stays readable, and recovery on reopen decides whether the
+//!   ambiguous record survived.
+//!
+//! All journal I/O goes through the [`vfs::Vfs`] trait, so the whole
+//! contract is exercised under simulated power loss by the
+//! deterministic [`torture`] harness (see DESIGN.md, "Durability and
+//! crash consistency").
 //!
 //! Determinism makes log replay sound: GOOD operations are
 //! deterministic up to new-object identity, and since the journal
@@ -25,6 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
+pub mod torture;
+pub mod vfs;
+
+pub use journal::LogRecord;
+
 use good_core::error::GoodError;
 use good_core::instance::Instance;
 use good_core::matching::{find_matchings, Matching};
@@ -33,23 +50,10 @@ use good_core::ops::OpReport;
 use good_core::pattern::Pattern;
 use good_core::program::{Env, Program, DEFAULT_FUEL};
 use good_core::scheme::Scheme;
-use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
-
-/// One journal record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub enum LogRecord {
-    /// A full snapshot of the instance — the first record of every
-    /// journal generation.
-    Snapshot(Box<Instance>),
-    /// A method registration.
-    RegisterMethod(Box<Method>),
-    /// An applied program.
-    Apply(Program),
-}
+use std::sync::Arc;
+use vfs::{StdVfs, Vfs, VfsFile};
 
 /// Store errors: I/O, serialization, or model-level failures.
 #[derive(Debug)]
@@ -67,6 +71,12 @@ pub enum StoreError {
     MissingSnapshot,
     /// A model-level error while replaying or executing.
     Model(GoodError),
+    /// A previous append failed mid-durability; mutations are refused
+    /// until the store is reopened (committed state stays readable).
+    Poisoned(
+        /// The failure that poisoned the store.
+        String,
+    ),
 }
 
 impl fmt::Display for StoreError {
@@ -80,6 +90,11 @@ impl fmt::Display for StoreError {
                 write!(f, "journal does not begin with a snapshot record")
             }
             StoreError::Model(err) => write!(f, "model error: {err}"),
+            StoreError::Poisoned(reason) => write!(
+                f,
+                "store is poisoned ({reason}); the last record's durability is \
+                 unknown — reopen the journal to recover a consistent state"
+            ),
         }
     }
 }
@@ -103,8 +118,9 @@ pub type Result<T> = std::result::Result<T, StoreError>;
 
 /// A durable GOOD object base.
 pub struct Store {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
-    file: File,
+    file: Box<dyn VfsFile>,
     db: Instance,
     env: Env,
     /// Registered methods, kept for checkpointing (the Env does not
@@ -113,6 +129,8 @@ pub struct Store {
     records: usize,
     /// True when `open` discarded a torn trailing record.
     recovered_torn_tail: bool,
+    /// Set when an append failed after possibly reaching the disk.
+    poisoned: Option<String>,
 }
 
 impl fmt::Debug for Store {
@@ -121,23 +139,34 @@ impl fmt::Debug for Store {
             .field("path", &self.path)
             .field("records", &self.records)
             .field("nodes", &self.db.node_count())
+            .field("poisoned", &self.poisoned)
             .finish()
     }
 }
 
 impl Store {
-    /// Create a fresh store at `path` over `scheme`. Fails if the file
-    /// exists.
+    /// Create a fresh store at `path` over `scheme` on the real
+    /// filesystem. Fails if the file exists.
     pub fn create(path: impl AsRef<Path>, scheme: Scheme) -> Result<Store> {
+        Store::create_with_vfs(Arc::new(StdVfs), path, scheme)
+    }
+
+    /// [`Store::create`] over an explicit [`Vfs`].
+    pub fn create_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        scheme: Scheme,
+    ) -> Result<Store> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .open(&path)?;
+        let mut file = vfs.create_new(&path)?;
         let db = Instance::new(scheme);
         let record = LogRecord::Snapshot(Box::new(db.clone()));
-        append_record(&mut file, &record)?;
+        journal::append_record(file.as_mut(), &record)?;
+        // The file content is durable; make its *name* durable too, or
+        // a crash could silently discard the whole store.
+        vfs.sync_parent_dir(&path)?;
         Ok(Store {
+            vfs,
             path,
             file,
             db,
@@ -145,44 +174,32 @@ impl Store {
             methods: Vec::new(),
             records: 1,
             recovered_torn_tail: false,
+            poisoned: None,
         })
     }
 
-    /// Open an existing store, replaying its journal.
+    /// Open an existing store on the real filesystem, replaying its
+    /// journal.
     pub fn open(path: impl AsRef<Path>) -> Result<Store> {
+        Store::open_with_vfs(Arc::new(StdVfs), path)
+    }
+
+    /// [`Store::open`] over an explicit [`Vfs`].
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<Store> {
         let path = path.as_ref().to_path_buf();
-        let reader = BufReader::new(File::open(&path)?);
+        let bytes = vfs.read(&path)?;
+        let scan = journal::scan(&bytes)?;
+
         let mut db: Option<Instance> = None;
         let mut env = Env::with_fuel(DEFAULT_FUEL);
         let mut methods: Vec<Method> = Vec::new();
         let mut records = 0usize;
-        let mut recovered_torn_tail = false;
-
-        let lines: Vec<String> = reader.lines().collect::<std::io::Result<_>>()?;
-        let total = lines.len();
-        for (index, line) in lines.iter().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let record: LogRecord = match serde_json::from_str(line) {
-                Ok(record) => record,
-                Err(err) => {
-                    if index + 1 == total {
-                        // A torn tail from a crash mid-append: recover.
-                        recovered_torn_tail = true;
-                        break;
-                    }
-                    return Err(StoreError::Corrupt {
-                        line: index + 1,
-                        message: err.to_string(),
-                    });
-                }
-            };
+        for (line, record) in scan.records {
             match record {
                 LogRecord::Snapshot(instance) => {
                     if db.is_some() {
                         return Err(StoreError::Corrupt {
-                            line: index + 1,
+                            line,
                             message: "unexpected second snapshot".into(),
                         });
                     }
@@ -207,21 +224,27 @@ impl Store {
         }
         let db = db.ok_or(StoreError::MissingSnapshot)?;
         db.validate()?;
-        // Truncate the torn tail so future appends start clean.
-        if recovered_torn_tail {
-            let intact: usize = lines[..total - 1].iter().map(|l| l.len() + 1).sum();
-            let file = OpenOptions::new().write(true).open(&path)?;
-            file.set_len(intact as u64)?;
+
+        let mut file;
+        if scan.torn_tail {
+            // Truncate the torn tail so future appends start clean,
+            // and sync so the truncation itself survives a crash.
+            vfs.truncate(&path, scan.intact_len)?;
+            file = vfs.open_append(&path)?;
+            file.sync_data()?;
+        } else {
+            file = vfs.open_append(&path)?;
         }
-        let file = OpenOptions::new().append(true).open(&path)?;
         Ok(Store {
+            vfs,
             path,
             file,
             db,
             env,
             methods,
             records,
-            recovered_torn_tail,
+            recovered_torn_tail: scan.torn_tail,
+            poisoned: None,
         })
     }
 
@@ -240,12 +263,40 @@ impl Store {
         self.recovered_torn_tail
     }
 
+    /// The poisoning reason, if a failed append has locked the store
+    /// against further mutation.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(reason) => Err(StoreError::Poisoned(reason.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Append a record, poisoning the store on I/O failure: once bytes
+    /// may have reached the file without a confirmed fsync, the
+    /// record's durability (and the journal tail's integrity) is
+    /// unknown, so no further mutation may append after it. Recovery on
+    /// reopen resolves the ambiguity either way.
+    fn append_durably(&mut self, record: &LogRecord) -> Result<()> {
+        match journal::append_record(self.file.as_mut(), record) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                if let StoreError::Io(io_err) = &err {
+                    self.poisoned = Some(format!("append failed: {io_err}"));
+                }
+                Err(err)
+            }
+        }
+    }
+
     /// Register a method, durably.
     pub fn register_method(&mut self, method: Method) -> Result<()> {
-        append_record(
-            &mut self.file,
-            &LogRecord::RegisterMethod(Box::new(method.clone())),
-        )?;
+        self.check_poisoned()?;
+        self.append_durably(&LogRecord::RegisterMethod(Box::new(method.clone())))?;
         self.env.register(method.clone());
         self.methods.push(method);
         self.records += 1;
@@ -253,12 +304,16 @@ impl Store {
     }
 
     /// Execute a program atomically: state and journal change only if
-    /// the whole program succeeds.
+    /// the whole program succeeds *and* its record is durably logged.
+    /// On an I/O failure the in-memory instance is left at the last
+    /// committed state and the store is poisoned (see
+    /// [`StoreError::Poisoned`]).
     pub fn execute(&mut self, program: &Program) -> Result<OpReport> {
+        self.check_poisoned()?;
         let mut next = self.db.clone();
         self.env.refuel();
         let report = program.apply(&mut next, &mut self.env)?;
-        append_record(&mut self.file, &LogRecord::Apply(program.clone()))?;
+        self.append_durably(&LogRecord::Apply(program.clone()))?;
         self.db = next;
         self.records += 1;
         Ok(report)
@@ -269,36 +324,47 @@ impl Store {
         Ok(find_matchings(pattern, &self.db)?)
     }
 
-    /// Collapse the journal into a single fresh snapshot (temp file +
-    /// atomic rename).
+    /// Collapse the journal into a single fresh snapshot: temp file,
+    /// fsync, atomic rename, parent-directory fsync. Failures before
+    /// the rename leave the old journal fully intact; failures after it
+    /// poison the store (the new journal is in place but its durability
+    /// or the append handle is uncertain).
     pub fn checkpoint(&mut self) -> Result<()> {
+        self.check_poisoned()?;
         let tmp_path = self.path.with_extension("journal.tmp");
         {
-            let mut tmp = File::create(&tmp_path)?;
-            append_record(&mut tmp, &LogRecord::Snapshot(Box::new(self.db.clone())))?;
+            let mut tmp = self.vfs.create_truncate(&tmp_path)?;
+            journal::append_record(
+                tmp.as_mut(),
+                &LogRecord::Snapshot(Box::new(self.db.clone())),
+            )?;
             // Methods survive checkpoints: re-log every registration.
             for method in self.methods.iter() {
-                append_record(
-                    &mut tmp,
+                journal::append_record(
+                    tmp.as_mut(),
                     &LogRecord::RegisterMethod(Box::new(method.clone())),
                 )?;
             }
             tmp.sync_all()?;
         }
-        std::fs::rename(&tmp_path, &self.path)?;
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.vfs.rename(&tmp_path, &self.path)?;
+        // The rename must itself be made durable: without the directory
+        // fsync a crash can resurrect the old journal, silently
+        // discarding every record appended to the new one.
+        if let Err(err) = self.vfs.sync_parent_dir(&self.path) {
+            self.poisoned = Some(format!("checkpoint rename not durable: {err}"));
+            return Err(err.into());
+        }
+        match self.vfs.open_append(&self.path) {
+            Ok(file) => self.file = file,
+            Err(err) => {
+                // The old handle points at the unlinked pre-checkpoint
+                // inode; appending there would lose records.
+                self.poisoned = Some(format!("cannot reopen checkpointed journal: {err}"));
+                return Err(err.into());
+            }
+        }
         self.records = 1 + self.methods.len();
         Ok(())
     }
-}
-
-fn append_record(file: &mut File, record: &LogRecord) -> Result<()> {
-    let mut line = serde_json::to_string(record).map_err(|err| StoreError::Corrupt {
-        line: 0,
-        message: err.to_string(),
-    })?;
-    line.push('\n');
-    file.write_all(line.as_bytes())?;
-    file.sync_data()?;
-    Ok(())
 }

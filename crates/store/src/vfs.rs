@@ -1,0 +1,733 @@
+//! The virtual filesystem the journal runs on.
+//!
+//! [`Store`](crate::Store) performs every byte of journal and
+//! checkpoint I/O through the [`Vfs`] trait, so the durability logic
+//! can be exercised against two backends:
+//!
+//! * [`StdVfs`] — a passthrough to `std::fs`, used in production;
+//! * [`FaultVfs`] — a deterministic in-memory filesystem that models
+//!   *crash semantics* (what survives a power cut) and injects
+//!   seed-scheduled faults: torn writes at arbitrary byte offsets,
+//!   fsync failures, rename failures, and hard crash points that
+//!   freeze the simulated on-disk state.
+//!
+//! # The crash model
+//!
+//! `FaultVfs` tracks, per file (inode), the visible content and the
+//! *durable prefix length* (`fdatasync` advances it), and tracks the
+//! directory namespace twice: the live map (what `open` sees now) and
+//! the durable map (what survives a crash). `create`/`rename` mutate
+//! only the live namespace; [`Vfs::sync_parent_dir`] — the `fsync(dir)`
+//! a correct journal must issue — promotes it to durable. On
+//! [`FaultVfs::reboot`] the live state is discarded: the namespace
+//! reverts to the durable map and each surviving file is torn at a
+//! seed-chosen byte offset within its un-synced suffix (so the tail
+//! may be wholly lost, partially torn mid-record, or fully present).
+//!
+//! The model deliberately takes the *strictest legal* reading of POSIX
+//! crash behaviour — un-fsynced renames and creates are always rolled
+//! back — so a missing directory sync fails deterministically instead
+//! of once in a thousand runs. Tearing is prefix-only within the
+//! un-synced suffix: sector-reorder corruption *inside* the suffix
+//! would require record checksums to recover from and is noted as
+//! future work in DESIGN.md.
+//!
+//! Every operation and injected fault is appended to a textual fault
+//! log; two runs over the same [`FaultPlan`] produce byte-identical
+//! logs, which is what makes torture schedules reproducible from a
+//! seed alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An open, append-only file handle.
+pub trait VfsFile: Send {
+    /// Append bytes at the end of the file.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Flush file *content* to durable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flush content and metadata (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations the journal needs.
+pub trait Vfs: Send + Sync {
+    /// Create a file that must not already exist (`O_CREAT | O_EXCL`).
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Create a file, truncating any existing one.
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open an existing file for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Truncate a file to `len` bytes (durability requires a
+    /// subsequent [`VfsFile::sync_data`] on an open handle).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Atomically rename `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Fsync the directory containing `path`, making renames and
+    /// creates within it durable.
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// StdVfs
+// ---------------------------------------------------------------------------
+
+/// The production [`Vfs`]: a passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+struct StdFile(std::fs::File);
+
+impl VfsFile for StdFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        self.0.write_all(data)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(StdFile(file)))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile(std::fs::File::create(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(Box::new(StdFile(file)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    #[cfg(unix)]
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        match parent {
+            Some(dir) => std::fs::File::open(dir)?.sync_all(),
+            None => Ok(()),
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn sync_parent_dir(&self, _path: &Path) -> io::Result<()> {
+        // Directories cannot be opened for fsync here; rename
+        // durability is left to the OS.
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+// ---------------------------------------------------------------------------
+
+/// A deterministic fault schedule for [`FaultVfs`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for every random decision (tear offsets, fault draws).
+    pub seed: u64,
+    /// Operation index at which to simulate a hard crash: the
+    /// operation fails (an append lands only a torn prefix) and every
+    /// subsequent operation fails until [`FaultVfs::reboot`].
+    pub crash_at: Option<u64>,
+    /// Per-append probability of a torn write: a strict prefix of the
+    /// data lands and the append reports an I/O error.
+    pub torn_write_probability: f64,
+    /// Per-sync probability that `fdatasync`/`fsync` (file or
+    /// directory) fails without making anything durable.
+    pub sync_error_probability: f64,
+    /// Per-rename probability of failing without renaming.
+    pub rename_error_probability: f64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all (still deterministic in `seed`).
+    pub fn reliable(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            crash_at: None,
+            torn_write_probability: 0.0,
+            sync_error_probability: 0.0,
+            rename_error_probability: 0.0,
+        }
+    }
+
+    /// A plan that crashes hard at operation `op` and is otherwise
+    /// fault-free.
+    pub fn crash_at(seed: u64, op: u64) -> Self {
+        FaultPlan {
+            crash_at: Some(op),
+            ..FaultPlan::reliable(seed)
+        }
+    }
+}
+
+struct Inode {
+    data: Vec<u8>,
+    /// Bytes guaranteed durable (advanced by sync).
+    synced_len: usize,
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    inodes: BTreeMap<u64, Inode>,
+    next_inode: u64,
+    /// Live namespace: what `open` sees right now.
+    live: BTreeMap<PathBuf, u64>,
+    /// Durable namespace: what survives a crash.
+    durable: BTreeMap<PathBuf, u64>,
+    ops: u64,
+    crashed: bool,
+    log: Vec<String>,
+}
+
+fn crash_error(detail: &str) -> io::Error {
+    io::Error::other(format!("simulated crash: {detail}"))
+}
+
+fn fault_error(detail: String) -> io::Error {
+    io::Error::other(detail)
+}
+
+impl FaultState {
+    /// Common per-operation bookkeeping: refuse everything after a
+    /// crash, count the operation, and trigger the hard crash point.
+    /// Returns the operation index, or `Err` if this operation is the
+    /// crash point (`effect` describes it in the log).
+    fn begin(&mut self, effect: &str) -> io::Result<u64> {
+        if self.crashed {
+            return Err(crash_error("filesystem is down"));
+        }
+        let n = self.ops;
+        self.ops += 1;
+        if self.plan.crash_at == Some(n) {
+            self.crashed = true;
+            self.log.push(format!("op {n}: CRASH during {effect}"));
+            return Err(crash_error(effect));
+        }
+        Ok(n)
+    }
+
+    fn append(&mut self, ino: u64, data: &[u8]) -> io::Result<()> {
+        if self.crashed {
+            return Err(crash_error("filesystem is down"));
+        }
+        let n = self.ops;
+        self.ops += 1;
+        if self.plan.crash_at == Some(n) {
+            // A crash mid-write: a prefix of the data may have reached
+            // the page cache / platter before power was lost.
+            let tear = self.rng.gen_range(0..=data.len());
+            let inode = self.inodes.get_mut(&ino).expect("open handle has inode");
+            inode.data.extend_from_slice(&data[..tear]);
+            self.crashed = true;
+            self.log.push(format!(
+                "op {n}: CRASH during append of {} bytes to inode {ino} (tore at {tear})",
+                data.len()
+            ));
+            return Err(crash_error("append"));
+        }
+        let torn = self.plan.torn_write_probability > 0.0
+            && self.rng.gen_bool(self.plan.torn_write_probability)
+            && data.len() > 1;
+        let inode = self.inodes.get_mut(&ino).expect("open handle has inode");
+        if torn {
+            let tear = self.rng.gen_range(0..data.len());
+            inode.data.extend_from_slice(&data[..tear]);
+            self.log.push(format!(
+                "op {n}: TORN write of {} bytes to inode {ino} (tore at {tear})",
+                data.len()
+            ));
+            return Err(fault_error(format!(
+                "injected torn write at op {n}: {tear} of {} bytes written",
+                data.len()
+            )));
+        }
+        inode.data.extend_from_slice(data);
+        self.log.push(format!(
+            "op {n}: append {} bytes to inode {ino}",
+            data.len()
+        ));
+        Ok(())
+    }
+
+    fn sync(&mut self, ino: u64) -> io::Result<()> {
+        let n = self.begin("fsync")?;
+        if self.plan.sync_error_probability > 0.0
+            && self.rng.gen_bool(self.plan.sync_error_probability)
+        {
+            self.log
+                .push(format!("op {n}: FSYNC FAILURE on inode {ino}"));
+            return Err(fault_error(format!("injected fsync failure at op {n}")));
+        }
+        let inode = self.inodes.get_mut(&ino).expect("open handle has inode");
+        inode.synced_len = inode.data.len();
+        self.log.push(format!(
+            "op {n}: fsync inode {ino} ({} bytes durable)",
+            inode.synced_len
+        ));
+        Ok(())
+    }
+
+    fn alloc(&mut self, data: Vec<u8>) -> u64 {
+        let ino = self.next_inode;
+        self.next_inode += 1;
+        let synced_len = 0;
+        self.inodes.insert(ino, Inode { data, synced_len });
+        ino
+    }
+}
+
+/// The deterministic fault-injecting in-memory [`Vfs`]. Cloning yields
+/// another handle onto the same simulated disk.
+#[derive(Clone)]
+pub struct FaultVfs {
+    shared: Arc<Mutex<FaultState>>,
+}
+
+struct FaultFile {
+    shared: Arc<Mutex<FaultState>>,
+    ino: u64,
+}
+
+impl VfsFile for FaultFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.shared
+            .lock()
+            .expect("fault vfs lock")
+            .append(self.ino, data)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.shared.lock().expect("fault vfs lock").sync(self.ino)
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+impl FaultVfs {
+    /// A fresh empty simulated disk driven by `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultVfs {
+            shared: Arc::new(Mutex::new(FaultState {
+                rng,
+                plan,
+                inodes: BTreeMap::new(),
+                next_inode: 1,
+                live: BTreeMap::new(),
+                durable: BTreeMap::new(),
+                ops: 0,
+                crashed: false,
+                log: Vec::new(),
+            })),
+        }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.shared.lock().expect("fault vfs lock")
+    }
+
+    /// Number of operations issued so far (the crash-point space).
+    pub fn op_count(&self) -> u64 {
+        self.state().ops
+    }
+
+    /// True once the crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state().crashed
+    }
+
+    /// The textual log of every operation and injected fault, in
+    /// order. Byte-identical across runs of the same [`FaultPlan`].
+    pub fn fault_log(&self) -> Vec<String> {
+        self.state().log.clone()
+    }
+
+    /// The configured crash point, if any.
+    pub fn plan_crash_at(&self) -> Option<u64> {
+        self.state().plan.crash_at
+    }
+
+    /// Adjust the fault probabilities mid-run. The seed, RNG stream
+    /// and crash point are unchanged, so runs stay deterministic as
+    /// long as the adjustments happen at deterministic points.
+    pub fn set_probabilities(&self, torn_write: f64, sync_error: f64, rename_error: f64) {
+        let mut state = self.state();
+        state.plan.torn_write_probability = torn_write;
+        state.plan.sync_error_probability = sync_error;
+        state.plan.rename_error_probability = rename_error;
+    }
+
+    /// The live (pre-crash) content of `path`, for tests.
+    pub fn live_contents(&self, path: &Path) -> Option<Vec<u8>> {
+        let state = self.state();
+        let ino = state.live.get(path)?;
+        Some(state.inodes[ino].data.clone())
+    }
+
+    /// Simulate a reboot after power loss: produce a new fault-free
+    /// `FaultVfs` holding the durable state. The namespace reverts to
+    /// the last directory-synced view and each file is torn at a
+    /// seed-deterministic offset within its un-synced suffix. Tear
+    /// decisions are appended to this (pre-crash) instance's fault
+    /// log, so the log fully describes the schedule.
+    pub fn reboot(&self) -> FaultVfs {
+        let mut state = self.state();
+        let mut tears: Vec<(PathBuf, u64)> = Vec::new();
+        let mut inodes: BTreeMap<u64, Inode> = BTreeMap::new();
+        let mut live: BTreeMap<PathBuf, u64> = BTreeMap::new();
+        let durable_names: Vec<(PathBuf, u64)> =
+            state.durable.iter().map(|(p, i)| (p.clone(), *i)).collect();
+        for (path, ino) in durable_names {
+            let (synced_len, data_len) = {
+                let inode = &state.inodes[&ino];
+                (inode.synced_len, inode.data.len())
+            };
+            let tear = state.rng.gen_range(synced_len..=data_len);
+            let inode = &state.inodes[&ino];
+            tears.push((path.clone(), tear as u64));
+            inodes.insert(
+                ino,
+                Inode {
+                    data: inode.data[..tear].to_vec(),
+                    synced_len: tear,
+                },
+            );
+            live.insert(path, ino);
+        }
+        for (path, tear) in &tears {
+            state.log.push(format!(
+                "reboot: {} survives torn to {tear} bytes",
+                path.display()
+            ));
+        }
+        let next_inode = state.next_inode;
+        let durable = live.clone();
+        FaultVfs {
+            shared: Arc::new(Mutex::new(FaultState {
+                rng: StdRng::seed_from_u64(state.plan.seed ^ 0x5eed_b007),
+                plan: FaultPlan::reliable(state.plan.seed),
+                inodes,
+                next_inode,
+                live,
+                durable,
+                ops: 0,
+                crashed: false,
+                log: Vec::new(),
+            })),
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut state = self.state();
+        let n = state.begin("create")?;
+        if state.live.contains_key(path) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{} exists", path.display()),
+            ));
+        }
+        let ino = state.alloc(Vec::new());
+        state.live.insert(path.to_path_buf(), ino);
+        state
+            .log
+            .push(format!("op {n}: create inode {ino} at {}", path.display()));
+        Ok(Box::new(FaultFile {
+            shared: Arc::clone(&self.shared),
+            ino,
+        }))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut state = self.state();
+        let n = state.begin("create-truncate")?;
+        let ino = state.alloc(Vec::new());
+        state.live.insert(path.to_path_buf(), ino);
+        state.log.push(format!(
+            "op {n}: create-truncate inode {ino} at {}",
+            path.display()
+        ));
+        Ok(Box::new(FaultFile {
+            shared: Arc::clone(&self.shared),
+            ino,
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut state = self.state();
+        let n = state.begin("open-append")?;
+        let Some(&ino) = state.live.get(path) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} not found", path.display()),
+            ));
+        };
+        state
+            .log
+            .push(format!("op {n}: open inode {ino} at {}", path.display()));
+        Ok(Box::new(FaultFile {
+            shared: Arc::clone(&self.shared),
+            ino,
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut state = self.state();
+        let n = state.begin("read")?;
+        let Some(&ino) = state.live.get(path) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} not found", path.display()),
+            ));
+        };
+        let data = state.inodes[&ino].data.clone();
+        state.log.push(format!(
+            "op {n}: read {} bytes from inode {ino}",
+            data.len()
+        ));
+        Ok(data)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut state = self.state();
+        let n = state.begin("truncate")?;
+        let Some(&ino) = state.live.get(path) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} not found", path.display()),
+            ));
+        };
+        let inode = state.inodes.get_mut(&ino).expect("live name has inode");
+        inode.data.truncate(len as usize);
+        inode.synced_len = inode.synced_len.min(len as usize);
+        state
+            .log
+            .push(format!("op {n}: truncate inode {ino} to {len} bytes"));
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = self.state();
+        let n = state.begin("rename")?;
+        let rename_error_probability = state.plan.rename_error_probability;
+        if rename_error_probability > 0.0 && state.rng.gen_bool(rename_error_probability) {
+            state.log.push(format!(
+                "op {n}: RENAME FAILURE {} -> {}",
+                from.display(),
+                to.display()
+            ));
+            return Err(fault_error(format!("injected rename failure at op {n}")));
+        }
+        let Some(ino) = state.live.remove(from) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} not found", from.display()),
+            ));
+        };
+        state.live.insert(to.to_path_buf(), ino);
+        state.log.push(format!(
+            "op {n}: rename {} -> {} (inode {ino}, not yet durable)",
+            from.display(),
+            to.display()
+        ));
+        Ok(())
+    }
+
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.state();
+        let n = state.begin("dir-fsync")?;
+        let sync_error_probability = state.plan.sync_error_probability;
+        if sync_error_probability > 0.0 && state.rng.gen_bool(sync_error_probability) {
+            state.log.push(format!("op {n}: DIR-FSYNC FAILURE"));
+            return Err(fault_error(format!(
+                "injected directory fsync failure at op {n}"
+            )));
+        }
+        let parent = path.parent().map(Path::to_path_buf);
+        let in_dir = |p: &Path| p.parent().map(Path::to_path_buf) == parent;
+        let synced: Vec<(PathBuf, u64)> = state
+            .live
+            .iter()
+            .filter(|(p, _)| in_dir(p))
+            .map(|(p, i)| (p.clone(), *i))
+            .collect();
+        state.durable.retain(|p, _| !in_dir(p));
+        for (p, i) in synced {
+            state.durable.insert(p, i);
+        }
+        state.log.push(format!(
+            "op {n}: dir-fsync {} (namespace durable)",
+            parent.as_deref().unwrap_or(Path::new("/")).display()
+        ));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn unsynced_creates_do_not_survive_reboot() {
+        let vfs = FaultVfs::new(FaultPlan::reliable(1));
+        let mut file = vfs.create_new(&path("/d/a")).unwrap();
+        file.append(b"hello\n").unwrap();
+        file.sync_data().unwrap();
+        // Content synced, but the name never was.
+        let disk = vfs.reboot();
+        assert!(matches!(
+            disk.read(&path("/d/a")),
+            Err(e) if e.kind() == io::ErrorKind::NotFound
+        ));
+    }
+
+    #[test]
+    fn dir_sync_makes_the_name_durable() {
+        let vfs = FaultVfs::new(FaultPlan::reliable(1));
+        let mut file = vfs.create_new(&path("/d/a")).unwrap();
+        file.append(b"hello\n").unwrap();
+        file.sync_data().unwrap();
+        vfs.sync_parent_dir(&path("/d/a")).unwrap();
+        let disk = vfs.reboot();
+        assert_eq!(disk.read(&path("/d/a")).unwrap(), b"hello\n");
+    }
+
+    #[test]
+    fn unsynced_tail_is_torn_deterministically() {
+        let run = |seed| {
+            let vfs = FaultVfs::new(FaultPlan::reliable(seed));
+            let mut file = vfs.create_new(&path("/d/a")).unwrap();
+            file.append(b"first\n").unwrap();
+            file.sync_data().unwrap();
+            vfs.sync_parent_dir(&path("/d/a")).unwrap();
+            file.append(b"second-unsynced\n").unwrap();
+            let disk = vfs.reboot();
+            (disk.read(&path("/d/a")).unwrap(), vfs.fault_log())
+        };
+        let (data, log) = run(7);
+        // The synced prefix always survives; the tail tear never cuts
+        // into it.
+        assert!(data.len() >= b"first\n".len());
+        assert!(data.starts_with(b"first\n"));
+        let (data2, log2) = run(7);
+        assert_eq!(data, data2, "same seed must tear identically");
+        assert_eq!(log, log2, "fault logs must be byte-identical");
+    }
+
+    #[test]
+    fn unsynced_renames_roll_back() {
+        let vfs = FaultVfs::new(FaultPlan::reliable(3));
+        let mut a = vfs.create_new(&path("/d/a")).unwrap();
+        a.append(b"old\n").unwrap();
+        a.sync_data().unwrap();
+        vfs.sync_parent_dir(&path("/d/a")).unwrap();
+        let mut b = vfs.create_truncate(&path("/d/b")).unwrap();
+        b.append(b"new\n").unwrap();
+        b.sync_data().unwrap();
+        vfs.rename(&path("/d/b"), &path("/d/a")).unwrap();
+        // Live view sees the rename immediately…
+        assert_eq!(vfs.live_contents(&path("/d/a")).unwrap(), b"new\n");
+        // …but without a dir-fsync a reboot reverts it.
+        let disk = vfs.reboot();
+        assert_eq!(disk.read(&path("/d/a")).unwrap(), b"old\n");
+        // With the dir-fsync it sticks.
+        vfs.sync_parent_dir(&path("/d/a")).unwrap();
+        let disk = vfs.reboot();
+        assert_eq!(disk.read(&path("/d/a")).unwrap(), b"new\n");
+    }
+
+    #[test]
+    fn crash_point_freezes_the_disk() {
+        // Ops: 0 create, 1 append, 2 sync, 3 dir-sync.
+        let vfs = FaultVfs::new(FaultPlan::crash_at(5, 2));
+        let mut file = vfs.create_new(&path("/d/a")).unwrap();
+        file.append(b"data\n").unwrap();
+        let err = file.sync_data().unwrap_err();
+        assert!(err.to_string().contains("simulated crash"), "{err}");
+        assert!(vfs.crashed());
+        // Everything after the crash fails too.
+        assert!(vfs.read(&path("/d/a")).is_err());
+        assert!(vfs.create_new(&path("/d/b")).is_err());
+    }
+
+    #[test]
+    fn crash_during_append_tears_the_write() {
+        // Ops: 0 create, 1 append(sync'd next)… crash at the second
+        // append (op 4).
+        let vfs = FaultVfs::new(FaultPlan::crash_at(11, 4));
+        let mut file = vfs.create_new(&path("/d/a")).unwrap();
+        file.append(b"first\n").unwrap();
+        file.sync_data().unwrap();
+        vfs.sync_parent_dir(&path("/d/a")).unwrap();
+        assert!(file.append(b"0123456789\n").is_err());
+        let disk = vfs.reboot();
+        let data = disk.read(&path("/d/a")).unwrap();
+        assert!(data.starts_with(b"first\n"));
+        assert!(data.len() <= b"first\n0123456789\n".len());
+        let log = vfs.fault_log().join("\n");
+        assert!(log.contains("CRASH during append"), "{log}");
+    }
+
+    #[test]
+    fn injected_torn_write_reports_an_error_but_lands_a_prefix() {
+        let plan = FaultPlan {
+            torn_write_probability: 1.0,
+            ..FaultPlan::reliable(9)
+        };
+        let vfs = FaultVfs::new(plan);
+        let mut file = vfs.create_new(&path("/d/a")).unwrap();
+        let err = file.append(b"0123456789\n").unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        let data = vfs.live_contents(&path("/d/a")).unwrap();
+        assert!(data.len() < b"0123456789\n".len());
+    }
+
+    #[test]
+    fn injected_sync_errors_leave_nothing_durable() {
+        let plan = FaultPlan {
+            sync_error_probability: 1.0,
+            ..FaultPlan::reliable(4)
+        };
+        let vfs = FaultVfs::new(plan);
+        let mut file = vfs.create_new(&path("/d/a")).unwrap();
+        file.append(b"data\n").unwrap();
+        assert!(file.sync_data().is_err());
+        assert!(vfs.sync_parent_dir(&path("/d/a")).is_err());
+    }
+}

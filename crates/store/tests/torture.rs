@@ -1,0 +1,146 @@
+//! Crash-recovery torture tests.
+//!
+//! The fast tests here run in tier-1 CI on fixed seeds; the full
+//! matrix (every crash point of larger workloads across many seeds,
+//! ≥200 schedules) is `#[ignore]`d and runs in the nightly job via
+//! `cargo test --workspace --release -- --ignored`.
+
+use good_store::torture::{crash_sweep, fault_soak, SoakConfig, TortureConfig};
+use proptest::prelude::*;
+
+#[test]
+fn smoke_every_crash_point_recovers_to_a_committed_prefix() {
+    let config = TortureConfig {
+        seed: 7,
+        programs: 6,
+        checkpoint_every: 3,
+    };
+    let report = crash_sweep(&config).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(
+        report.crash_points >= 15,
+        "workload too small to be interesting: {} ops",
+        report.crash_points
+    );
+    for outcome in &report.outcomes {
+        if let Some(recovered_to) = outcome.recovered_to {
+            assert!(
+                outcome.acked <= recovered_to && recovered_to <= outcome.attempted,
+                "crash {}: recovered to {recovered_to}, window [{}, {}]",
+                outcome.crash_at,
+                outcome.acked,
+                outcome.attempted
+            );
+        }
+    }
+    // At least one schedule must exercise the torn-append path, or the
+    // sweep is not covering the contract it exists for.
+    assert!(
+        report.outcomes.iter().any(|o| o
+            .fault_log
+            .iter()
+            .any(|l| l.contains("CRASH during append"))),
+        "no schedule crashed mid-append"
+    );
+}
+
+#[test]
+fn same_seed_reproduces_identical_fault_sequences() {
+    let config = TortureConfig {
+        seed: 21,
+        programs: 5,
+        checkpoint_every: 2,
+    };
+    let a = crash_sweep(&config).unwrap_or_else(|failure| panic!("{failure}"));
+    let b = crash_sweep(&config).unwrap_or_else(|failure| panic!("{failure}"));
+    // Outcome equality includes every schedule's textual fault log, so
+    // this is the byte-for-byte reproducibility contract.
+    assert_eq!(a, b);
+    let c = crash_sweep(&TortureConfig { seed: 22, ..config })
+        .unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(a != c, "different seeds should differ somewhere");
+}
+
+#[test]
+fn smoke_fault_soak_survives_injected_faults() {
+    let report = fault_soak(&SoakConfig {
+        seed: 3,
+        programs: 24,
+        ..SoakConfig::default()
+    })
+    .unwrap_or_else(|failure| panic!("{failure}"));
+    assert_eq!(report.programs, 24);
+    assert!(
+        report.applied <= 24,
+        "cannot apply more programs than attempted"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Random small configs: every crash point of every workload shape
+    // must recover. Failures print a reproduction seed via TortureFailure.
+    #[test]
+    fn random_configs_survive_a_full_crash_sweep(
+        seed in 0u64..1_000_000,
+        programs in 3usize..7,
+        checkpoint_every in 0usize..4,
+    ) {
+        let config = TortureConfig { seed, programs, checkpoint_every };
+        if let Err(failure) = crash_sweep(&config) {
+            panic!("{failure}");
+        }
+    }
+
+    #[test]
+    fn random_soaks_stay_consistent(seed in 0u64..1_000_000) {
+        let config = SoakConfig { seed, programs: 12, ..SoakConfig::default() };
+        if let Err(failure) = fault_soak(&config) {
+            panic!("{failure}");
+        }
+    }
+}
+
+/// The full nightly matrix: every crash point of four 20-program
+/// workloads — comfortably over the 200-schedule floor the durability
+/// contract is certified against.
+#[test]
+#[ignore = "full torture matrix (~minutes); nightly runs it via --ignored"]
+fn nightly_full_torture_matrix() {
+    let mut schedules = 0u64;
+    for seed in [1u64, 2, 3, 4] {
+        let config = TortureConfig {
+            seed,
+            programs: 20,
+            checkpoint_every: 6,
+        };
+        let report = crash_sweep(&config).unwrap_or_else(|failure| panic!("{failure}"));
+        schedules += report.crash_points;
+        println!("seed {seed}: {}", report.summary());
+    }
+    assert!(
+        schedules >= 200,
+        "matrix enumerated only {schedules} crash schedules"
+    );
+}
+
+/// Nightly soak: long workloads under aggressive fault probabilities.
+#[test]
+#[ignore = "long fault soak; nightly runs it via --ignored"]
+fn nightly_fault_soak_matrix() {
+    for seed in 0u64..16 {
+        let config = SoakConfig {
+            seed,
+            programs: 40,
+            checkpoint_every: 5,
+            torn_write_probability: 0.15,
+            sync_error_probability: 0.15,
+            rename_error_probability: 0.3,
+        };
+        let report = fault_soak(&config).unwrap_or_else(|failure| panic!("{failure}"));
+        println!(
+            "seed {seed}: {} applied / {} attempted, {} reopens, {} checkpoint failures",
+            report.applied, report.programs, report.reopens, report.checkpoint_failures
+        );
+    }
+}
