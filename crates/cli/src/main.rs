@@ -15,6 +15,34 @@ mod session;
 
 use session::Session;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// The `--profile <path>` state: where to write the Chrome trace, and
+/// the collector every span in the process is delivered to.
+struct Profiler {
+    path: String,
+    collector: Arc<good_trace::Collector>,
+}
+
+impl Profiler {
+    /// Write the captured spans as Chrome `trace_event` JSON (open the
+    /// result in `chrome://tracing` or Perfetto). Exits on I/O failure.
+    fn write(&self) {
+        let json = good_trace::chrome_trace_json(&self.collector.take());
+        if let Err(err) = std::fs::write(&self.path, json) {
+            eprintln!("error: cannot write profile {}: {err}", self.path);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Write the profile (if one was requested) and exit with `code`.
+fn finish(profiler: &Option<Profiler>, code: i32) -> ! {
+    if let Some(profiler) = profiler {
+        profiler.write();
+    }
+    std::process::exit(code);
+}
 
 fn brace_balance(text: &str) -> i64 {
     text.chars().fold(0, |acc, ch| match ch {
@@ -112,6 +140,25 @@ fn main() {
         args.drain(position..=position + 1);
     }
 
+    // --profile PATH: capture every span the process emits (matcher,
+    // ops, methods, store) and write a Chrome trace_event JSON file on
+    // exit — including after a failed fault schedule, where the
+    // timeline shows the I/O preceding the crash.
+    let mut profiler: Option<Profiler> = None;
+    if let Some(position) = args.iter().position(|a| a == "--profile") {
+        let Some(value) = args.get(position + 1) else {
+            eprintln!("error: --profile requires an output path");
+            std::process::exit(1);
+        };
+        let collector = Arc::new(good_trace::Collector::new());
+        good_trace::swap_recorder(Some(collector.clone()));
+        profiler = Some(Profiler {
+            path: value.clone(),
+            collector,
+        });
+        args.drain(position..=position + 1);
+    }
+
     // --fault-seed N [--fault-crash-at K]: developer fault-injection
     // mode. Runs the store's deterministic crash-recovery torture
     // harness — the full crash-point sweep for the seed, or a single
@@ -169,18 +216,18 @@ fn main() {
                 }
                 Err(failure) => {
                     eprintln!("{failure}");
-                    std::process::exit(1);
+                    finish(&profiler, 1);
                 }
             },
             None => match good_store::torture::crash_sweep(&config) {
                 Ok(report) => println!("seed {seed}: {}", report.summary()),
                 Err(failure) => {
                     eprintln!("{failure}");
-                    std::process::exit(1);
+                    finish(&profiler, 1);
                 }
             },
         }
-        return;
+        finish(&profiler, 0);
     }
 
     let mut session = Session::new();
@@ -192,10 +239,10 @@ fn main() {
             Ok(output) => print!("{output}"),
             Err(err) => {
                 eprintln!("error: {err}");
-                std::process::exit(1);
+                finish(&profiler, 1);
             }
         }
-        return;
+        finish(&profiler, 0);
     }
 
     // Script-file mode.
@@ -204,17 +251,17 @@ fn main() {
             Ok(text) => text,
             Err(err) => {
                 eprintln!("error: cannot read {path}: {err}");
-                std::process::exit(1);
+                finish(&profiler, 1);
             }
         };
         match run_script(&mut session, &text) {
             Ok(output) => print!("{output}"),
             Err(err) => {
                 eprintln!("error: {err}");
-                std::process::exit(1);
+                finish(&profiler, 1);
             }
         }
-        return;
+        finish(&profiler, 0);
     }
 
     // Interactive REPL.
@@ -257,6 +304,9 @@ fn main() {
             }
             Err(err) => eprintln!("error: {err}"),
         }
+    }
+    if let Some(profiler) = &profiler {
+        profiler.write();
     }
 }
 

@@ -29,7 +29,9 @@
 use good_core::error::GoodError;
 use good_core::instance::Instance;
 use good_core::label::Label;
-use good_core::matching::{default_threads, find_matchings, set_default_threads};
+use good_core::matching::{
+    default_threads, explain_plan, find_matchings, set_default_threads, MatchConfig,
+};
 use good_core::ops::{Abstraction, EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion};
 use good_core::program::Env;
 use good_core::scheme::Scheme;
@@ -150,6 +152,7 @@ impl Session {
             "value" => self.cmd_value(rest),
             "edge" => self.cmd_edge(rest),
             "match" => self.cmd_match(rest),
+            "explain" => self.cmd_explain(rest),
             "tag" => self.cmd_tag(rest),
             "connect" => self.cmd_connect(rest),
             "delete" => self.cmd_delete(rest),
@@ -292,6 +295,17 @@ impl Session {
             out.push('\n');
         }
         Ok(out)
+    }
+
+    /// `explain { pattern }` — print the access plan the matcher would
+    /// run, without executing it.
+    fn cmd_explain(&mut self, rest: &str) -> Result<String> {
+        let (pattern, names) = parse_pattern(rest)?;
+        let db = self.db_ref()?;
+        let plan = explain_plan(&pattern, db, MatchConfig::default())?;
+        let by_node: BTreeMap<NodeId, &String> =
+            names.iter().map(|(name, node)| (*node, name)).collect();
+        Ok(plan.render_with(|node| by_node.get(&node).map(|name| name.to_string())))
     }
 
     /// `tag { pattern } <node> <Class> <edge>` — node addition.
@@ -455,6 +469,11 @@ impl Session {
         for (label, count) in classes {
             writeln!(out, "  {label}: {count}").expect("write");
         }
+        // With a recorder installed (e.g. under --profile), append the
+        // runtime metrics accumulated so far.
+        if good_trace::enabled() {
+            writeln!(out, "metrics: {}", good_trace::metrics_snapshot_json()).expect("write");
+        }
         Ok(out)
     }
 
@@ -595,7 +614,7 @@ const HELP: &str = "\
 scheme:  class <Name> | printable <Name> <domain> | functional <S> <e> <D>
          multivalued <S> <e> <D> | subclass <Sub> <isa> <Super> | init
 data:    insert <Class> [as h] | value <Class> <lit> [as h] | edge <h> <label> <h>
-query:   match { pattern }
+query:   match { pattern } | explain { pattern }
 ops:     tag { p } <node> <Class> <edge>
          connect { p } <src> <label> <dst> [functional|multivalued]
          delete { p } <node> | unlink { p } <src> <label> <dst>
@@ -650,6 +669,29 @@ mod tests {
             .unwrap();
         assert!(out.starts_with("1 matching(s)"));
         assert!(out.contains("i=Info(rock)"));
+    }
+
+    #[test]
+    fn explain_prints_a_plan_with_pattern_names() {
+        let mut session = bootstrapped();
+        let out = session
+            .execute("explain { i: Info; n: String = \"Rock\"; i -name-> n; }")
+            .unwrap();
+        assert!(out.starts_with("match plan (2 steps"), "{out}");
+        assert!(out.contains("bind n [String]"), "{out}");
+        assert!(out.contains("bind i [Info]"), "{out}");
+        assert!(out.contains("root candidates:"), "{out}");
+        assert!(out.contains("sequential"), "{out}");
+        // Without an open base it errors like the other query commands.
+        let mut fresh = Session::new();
+        fresh.execute("class Info").unwrap();
+        assert!(fresh.execute("explain { i: Info; }").is_err());
+    }
+
+    #[test]
+    fn stats_appends_metrics_only_when_tracing() {
+        let mut session = bootstrapped();
+        assert!(!session.execute("stats").unwrap().contains("metrics:"));
     }
 
     #[test]

@@ -221,6 +221,136 @@ fn fault_crash_at_out_of_range_exits_nonzero() {
     assert!(stderr.contains("out of range"), "{stderr}");
 }
 
+// Concrete deserialization targets for the Chrome trace_event format
+// `--profile` emits (the vendored JSON reader has no dynamic Value
+// type, so the tests parse into typed structs).
+#[derive(serde::Deserialize)]
+#[allow(non_snake_case)]
+struct TraceFile {
+    traceEvents: Vec<TraceEvent>,
+    displayTimeUnit: String,
+}
+
+#[derive(serde::Deserialize)]
+#[allow(dead_code)]
+struct TraceEvent {
+    name: String,
+    cat: String,
+    ph: String,
+    pid: u64,
+    tid: u64,
+    ts: f64,
+    dur: f64,
+    args: std::collections::BTreeMap<String, String>,
+}
+
+fn read_trace(path: &std::path::Path) -> TraceFile {
+    let text = std::fs::read_to_string(path).expect("profile file exists");
+    serde_json::from_str(&text).unwrap_or_else(|err| panic!("profile must parse: {err}\n{text}"))
+}
+
+#[test]
+fn explain_command_prints_an_index_vs_scan_plan() {
+    let output = binary()
+        .arg("-c")
+        .arg(format!(
+            "{SETUP}; insert Info as a; value String \"x\" as n; edge a name n; \
+             explain {{ i: Info; s: String = \"x\"; i -name-> s; }}"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("match plan (2 steps"), "{stdout}");
+    assert!(stdout.contains("bind s [String]"), "{stdout}");
+    assert!(stdout.contains("root candidates:"), "{stdout}");
+}
+
+#[test]
+fn explain_without_a_base_exits_nonzero() {
+    let output = binary()
+        .arg("-c")
+        .arg("class Info; explain { i: Info; }")
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no open object base"), "{stderr}");
+}
+
+#[test]
+fn profile_flag_writes_parseable_chrome_trace_with_match_spans() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("good-cli-profile-{}.json", std::process::id()));
+    let output = binary()
+        .args(["--profile", path.to_str().expect("utf8 temp path")])
+        .arg("-c")
+        .arg(format!(
+            "{SETUP}; insert Info as a; value String \"x\" as n; edge a name n; \
+             match {{ i: Info; s: String; i -name-> s; }}; stats"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    // With the recorder installed, `stats` appends a metrics snapshot.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("metrics:"), "{stdout}");
+    assert!(stdout.contains("match.calls"), "{stdout}");
+
+    let trace = read_trace(&path);
+    assert_eq!(trace.displayTimeUnit, "ms");
+    assert!(!trace.traceEvents.is_empty());
+    for event in &trace.traceEvents {
+        assert_eq!(event.ph, "X");
+        assert_eq!(event.pid, 1);
+        assert!(event.dur >= 0.0 && event.ts >= 0.0);
+    }
+    let names: Vec<&str> = trace.traceEvents.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"match/find"), "{names:?}");
+    assert!(names.contains(&"match/plan"), "{names:?}");
+    std::fs::remove_file(path).expect("cleanup");
+}
+
+#[test]
+fn profile_flag_covers_store_op_and_method_spans_under_fault_injection() {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "good-cli-profile-fault-{}.json",
+        std::process::id()
+    ));
+    let output = binary()
+        .args(["--profile", path.to_str().expect("utf8 temp path")])
+        .args(["--fault-seed", "11", "--fault-crash-at", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let trace = read_trace(&path);
+    let cats: std::collections::BTreeSet<&str> =
+        trace.traceEvents.iter().map(|e| e.cat.as_str()).collect();
+    for expected in ["store", "op", "method", "match"] {
+        assert!(
+            cats.contains(expected),
+            "missing category {expected}: {cats:?}"
+        );
+    }
+    let names: Vec<&str> = trace.traceEvents.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"store/append"), "{names:?}");
+    assert!(names.contains(&"store/recovery"), "{names:?}");
+    assert!(names.contains(&"op/MC:Mark"), "{names:?}");
+    assert!(names.contains(&"method/Mark"), "{names:?}");
+    std::fs::remove_file(path).expect("cleanup");
+}
+
+#[test]
+fn profile_flag_without_a_path_exits_nonzero() {
+    let output = binary().arg("--profile").output().expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--profile requires"), "{stderr}");
+}
+
 #[test]
 fn repl_reads_multiline_patterns_from_stdin() {
     let mut child = binary()

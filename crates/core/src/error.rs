@@ -108,6 +108,11 @@ pub enum GoodError {
     OutOfFuel {
         /// The fuel budget that was exhausted.
         budget: u64,
+        /// Where fuel ran out: the method-call stack and op indices at
+        /// the moment of exhaustion, e.g. `op 2 (MC) > method Update >
+        /// op 1 (EA)`. Empty when exhaustion happened outside any
+        /// program or method scope.
+        context: String,
     },
     /// The `isa` subclass hierarchy contains a cycle (forbidden by
     /// Section 4.2).
@@ -175,10 +180,16 @@ impl fmt::Display for GoodError {
             GoodError::MethodSignatureMismatch(msg) => {
                 write!(f, "method call does not match its specification: {msg}")
             }
-            GoodError::OutOfFuel { budget } => write!(
-                f,
-                "execution exceeded the fuel budget of {budget} operation applications (possible divergent recursion)"
-            ),
+            GoodError::OutOfFuel { budget, context } => {
+                write!(
+                    f,
+                    "execution exceeded the fuel budget of {budget} operation applications (possible divergent recursion)"
+                )?;
+                if !context.is_empty() {
+                    write!(f, " at {context}")?;
+                }
+                Ok(())
+            }
             GoodError::IsaCycle => {
                 write!(f, "the isa subclass hierarchy must not contain cycles")
             }
@@ -206,8 +217,19 @@ mod tests {
         assert!(text.contains("created"));
         assert!(text.contains("undefined"));
 
-        let err = GoodError::OutOfFuel { budget: 10 };
+        let err = GoodError::OutOfFuel {
+            budget: 10,
+            context: String::new(),
+        };
         assert!(err.to_string().contains("10"));
+
+        let err = GoodError::OutOfFuel {
+            budget: 10,
+            context: "op 2 (MC) > method Update > op 1 (EA)".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("method Update"));
+        assert!(text.contains("op 1 (EA)"));
     }
 
     #[test]

@@ -316,7 +316,13 @@ impl Instance {
                 }
             }
         }
-        instance.validate()?;
+        // Content must be audited on every load (the bytes are
+        // untrusted), but the derived indexes were built three lines up
+        // from this very graph — re-deriving them to compare is pure
+        // overhead in release, so the index audit is debug-only here.
+        instance.validate_semantics()?;
+        #[cfg(debug_assertions)]
+        instance.validate_indexes()?;
         Ok(instance)
     }
 
@@ -706,6 +712,7 @@ impl Instance {
     pub fn delete_nodes(&mut self, nodes: impl IntoIterator<Item = NodeId>) -> usize {
         let doomed: Vec<NodeId> = nodes.into_iter().collect();
         if doomed.len() >= BULK_REBUILD_MIN && doomed.len() * 8 >= self.graph.node_count() {
+            good_trace::counter_add("instance.node_del.bulk_rebuild", 1);
             let removed = doomed
                 .into_iter()
                 .filter(|node| self.remove_node_untracked(*node))
@@ -713,6 +720,7 @@ impl Instance {
             self.adjacency = AdjacencyIndex::build(&self.graph);
             removed
         } else {
+            good_trace::counter_add("instance.node_del.incremental", 1);
             doomed
                 .into_iter()
                 .filter(|node| self.delete_node(*node))
@@ -796,6 +804,7 @@ impl Instance {
             }
         }
         if doomed.len() >= BULK_REBUILD_MIN && doomed.len() * 2 >= self.graph.edge_count() {
+            good_trace::counter_add("instance.edge_del.bulk_rebuild", 1);
             let removed = doomed
                 .into_iter()
                 .filter(|edge| self.graph.remove_edge(*edge).is_some())
@@ -803,6 +812,7 @@ impl Instance {
             self.adjacency = AdjacencyIndex::build(&self.graph);
             removed
         } else {
+            good_trace::counter_add("instance.edge_del.incremental", 1);
             doomed
                 .into_iter()
                 .filter(|edge| self.delete_edge(*edge))
@@ -844,8 +854,21 @@ impl Instance {
 
     /// Check every instance invariant from Section 2. The mutators make
     /// violations unrepresentable; this is the independent auditor used
-    /// by tests and deserialization.
+    /// by tests and deserialization. Equivalent to
+    /// [`Instance::validate_semantics`] followed by
+    /// [`Instance::validate_indexes`].
     pub fn validate(&self) -> Result<()> {
+        self.validate_semantics()?;
+        self.validate_indexes()
+    }
+
+    /// The *semantic* half of [`Instance::validate`]: scheme
+    /// consistency, node label/print invariants, printable uniqueness,
+    /// and edge conformance — everything that can be wrong about the
+    /// graph *content*. Runs in O(nodes + edges); does not touch the
+    /// derived indexes, so it is safe on paths where the indexes were
+    /// just built (deserialization, recovery).
+    pub fn validate_semantics(&self) -> Result<()> {
         self.scheme.validate()?;
         for node in self.graph.nodes() {
             let data = node.payload;
@@ -935,6 +958,15 @@ impl Instance {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// The *index* half of [`Instance::validate`]: the incrementally
+    /// maintained label and adjacency indexes must agree with a fresh
+    /// scan/rebuild. This is the expensive audit (it rebuilds the
+    /// adjacency index); release hot paths reach it only through
+    /// [`Instance::debug_assert_indexes`], which compiles it out.
+    pub fn validate_indexes(&self) -> Result<()> {
         // Index integrity.
         for (label, set) in &self.label_index {
             for node in set {

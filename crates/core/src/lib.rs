@@ -56,8 +56,8 @@ pub mod prelude {
     pub use crate::instance::Instance;
     pub use crate::label::{EdgeKind, Label, NodeKind};
     pub use crate::matching::{
-        default_threads, find_matchings, find_matchings_with, set_default_threads, MatchConfig,
-        Matching,
+        default_threads, explain_plan, find_matchings, find_matchings_with, set_default_threads,
+        MatchConfig, Matching, Plan, PlanStep,
     };
     pub use crate::method::{Method, MethodCall, MethodSpec};
     pub use crate::ops::{Abstraction, EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion};

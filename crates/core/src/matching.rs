@@ -494,6 +494,60 @@ impl<'a> Search<'a> {
         best
     }
 
+    /// Human description of the access path [`Search::candidates`] would
+    /// take for `pnode` once every node in `planned` is bound. Used by
+    /// [`explain_plan`]; mirrors the candidate-derivation priority.
+    fn describe_access(&self, pnode: NodeId, planned: &BTreeSet<NodeId>) -> String {
+        let data = self.pattern.graph().node(pnode).expect("live pattern node");
+        let PatternNodeKind::Class(label) = &data.kind else {
+            return "method head (not matchable)".into();
+        };
+        let predicate_note = if data.predicate.is_some() {
+            " + predicate filter"
+        } else {
+            ""
+        };
+        if let Some(value) = &data.print {
+            return format!("printable probe ({label} = {value})");
+        }
+        let mut anchors: Vec<String> = Vec::new();
+        let mut unanchored = 0usize;
+        for edge in self.pattern.graph().out_edges(pnode) {
+            if edge.payload.negated {
+                continue;
+            }
+            if planned.contains(&edge.dst) {
+                anchors.push(format!("-[{}]->", edge.payload.label));
+            } else {
+                unanchored += 1;
+            }
+        }
+        for edge in self.pattern.graph().in_edges(pnode) {
+            if edge.payload.negated || edge.src == pnode {
+                continue;
+            }
+            if planned.contains(&edge.src) {
+                anchors.push(format!("<-[{}]-", edge.payload.label));
+            } else {
+                unanchored += 1;
+            }
+        }
+        if !anchors.is_empty() {
+            format!(
+                "index probe: smallest ({label}, edge) postings of a bound neighbour \
+                 via {}{predicate_note} (anchors with degree <= {SCAN_LIMIT} scan edge lists)",
+                anchors.join(" / ")
+            )
+        } else if unanchored > 0 {
+            format!(
+                "support intersection over {unanchored} incident edge label(s) \
+                 on {label}{predicate_note}"
+            )
+        } else {
+            format!("label extent scan of {label}{predicate_note}")
+        }
+    }
+
     /// The most constrained unbound node, by candidate estimate.
     fn most_constrained(&self, frame: &Frame) -> Option<NodeId> {
         self.nodes
@@ -504,7 +558,13 @@ impl<'a> Search<'a> {
             .map(|(_, n)| n)
     }
 
-    fn solve(&self, frame: &mut Frame, on_match: &mut impl FnMut(&Frame) -> bool) -> bool {
+    fn solve(
+        &self,
+        frame: &mut Frame,
+        steps: &mut u64,
+        on_match: &mut impl FnMut(&Frame) -> bool,
+    ) -> bool {
+        *steps += 1;
         if frame.bound == self.nodes.len() {
             return on_match(frame);
         }
@@ -516,7 +576,7 @@ impl<'a> Search<'a> {
         let candidates = self.candidates(next, frame);
         for candidate in candidates {
             frame.bind(next, candidate);
-            if self.edges_consistent(next, frame) && !self.solve(frame, on_match) {
+            if self.edges_consistent(next, frame) && !self.solve(frame, steps, on_match) {
                 return false;
             }
             frame.unbind(next);
@@ -536,21 +596,31 @@ impl<'a> Search<'a> {
             return vec![self.to_matching(&self.frame())];
         }
         let empty = self.frame();
-        let root = self.most_constrained(&empty).expect("non-empty pattern");
-        let root_candidates = self.candidates(root, &empty);
+        let (root, root_candidates) = {
+            let mut plan_span = good_trace::span("match", "match/plan");
+            let root = self.most_constrained(&empty).expect("non-empty pattern");
+            let root_candidates = self.candidates(root, &empty);
+            plan_span.arg("root_candidates", root_candidates.len());
+            (root, root_candidates)
+        };
         if threads <= 1 || root_candidates.len() < config.parallel_threshold {
+            let mut roots_span = good_trace::span("match", "match/roots");
+            let mut steps = 0u64;
             let mut results = Vec::new();
             let mut frame = self.frame();
             for &candidate in &root_candidates {
                 frame.bind(root, candidate);
                 if self.edges_consistent(root, &frame) {
-                    self.solve(&mut frame, &mut |complete| {
+                    self.solve(&mut frame, &mut steps, &mut |complete| {
                         results.push(self.to_matching(complete));
                         true
                     });
                 }
                 frame.unbind(root);
             }
+            roots_span.arg("roots", root_candidates.len());
+            roots_span.arg("matchings", results.len());
+            roots_span.arg("steps", steps);
             return results;
         }
         // Morsel-driven: workers claim contiguous chunks of the root
@@ -573,16 +643,28 @@ impl<'a> Search<'a> {
                                 break;
                             }
                             let end = (start + morsel).min(root_candidates.len());
+                            // Morsel spans are worker-thread roots. Their
+                            // args (chunk bounds, matchings, steps) are
+                            // deterministic even though worker assignment
+                            // is not; `SpanTree::canonicalize` erases the
+                            // scheduling order.
+                            let mut morsel_span = good_trace::span("match", "match/morsel");
+                            let mut steps = 0u64;
+                            let before = local.len();
                             for &candidate in &root_candidates[start..end] {
                                 frame.bind(root, candidate);
                                 if self.edges_consistent(root, &frame) {
-                                    self.solve(&mut frame, &mut |complete| {
+                                    self.solve(&mut frame, &mut steps, &mut |complete| {
                                         local.push(self.to_matching(complete));
                                         true
                                     });
                                 }
                                 frame.unbind(root);
                             }
+                            morsel_span.arg("start", start);
+                            morsel_span.arg("len", end - start);
+                            morsel_span.arg("matchings", local.len() - before);
+                            morsel_span.arg("steps", steps);
                         }
                         local
                     })
@@ -620,7 +702,8 @@ fn extends_to_full(pattern: &Pattern, instance: &Instance, matching: &Matching) 
         }
     }
     let mut found = false;
-    search.solve(&mut frame, &mut |_| {
+    let mut steps = 0u64;
+    search.solve(&mut frame, &mut steps, &mut |_| {
         found = true;
         false // stop at first witness
     });
@@ -680,8 +763,12 @@ pub fn find_matchings_with(
     }
     pattern.validate(instance.scheme())?;
 
+    let mut find_span = good_trace::span("match", "match/find");
+    let started = find_span.is_live().then(std::time::Instant::now);
+
     let positive = pattern.positive_part();
     let nodes: Vec<NodeId> = positive.graph().node_ids().collect();
+    let pattern_nodes = nodes.len();
     let search = Search {
         pattern: &positive,
         instance,
@@ -691,10 +778,179 @@ pub fn find_matchings_with(
     results.sort();
     results.dedup();
 
+    let positive_results = results.len();
     if pattern.has_negation() {
         results.retain(|m| !extends_to_full(pattern, instance, m));
     }
+    if find_span.is_live() {
+        find_span.arg("pattern_nodes", pattern_nodes);
+        find_span.arg("matchings", results.len());
+        find_span.arg("negation", pattern.has_negation());
+        good_trace::counter_add("match.calls", 1);
+        good_trace::counter_add(
+            "match.negation_filtered",
+            (positive_results - results.len()) as u64,
+        );
+        if let Some(t0) = started {
+            good_trace::observe_ns("match.find_ns", t0.elapsed().as_nanos() as u64);
+        }
+    }
     Ok(results)
+}
+
+// ---- EXPLAIN -------------------------------------------------------------
+
+/// One step of an EXPLAIN plan: which pattern node the search binds
+/// next, and through which access path.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// The pattern node bound at this step.
+    pub node: NodeId,
+    /// Its class label.
+    pub label: String,
+    /// Human description of the access path (printable probe, index
+    /// probe, support intersection, or label extent scan).
+    pub access: String,
+    /// Cold cardinality estimate for this step's candidate list (the
+    /// same O(1) figures most-constrained-node selection uses).
+    pub estimate: usize,
+}
+
+/// A static description of the plan [`find_matchings_with`] would run
+/// for a pattern against an instance — produced by [`explain_plan`]
+/// without executing the search.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Binding steps in planned order. The first step is exactly the
+    /// root the real search picks; later steps use cold estimates
+    /// (the live search re-ranks under actual bindings).
+    pub steps: Vec<PlanStep>,
+    /// Exact candidate count for the root node.
+    pub root_candidates: usize,
+    /// Resolved worker thread count.
+    pub threads: usize,
+    /// Root-candidate count below which the search stays sequential.
+    pub parallel_threshold: usize,
+    /// Whether the morsel-parallel path would run.
+    pub parallel: bool,
+    /// Morsel size (0 when sequential).
+    pub morsel: usize,
+    /// Whether matchings are post-filtered by the negation extension
+    /// check.
+    pub negation: bool,
+}
+
+impl Plan {
+    /// Render with pattern nodes shown as `n<index>`.
+    pub fn render(&self) -> String {
+        self.render_with(|_| None)
+    }
+
+    /// Render as an indented text report, resolving pattern-node
+    /// display names through `name` (fall back: `n<index>`).
+    pub fn render_with(&self, name: impl Fn(NodeId) -> Option<String>) -> String {
+        let mut out = String::new();
+        let negation = if self.negation {
+            "negation post-filter"
+        } else {
+            "no negation"
+        };
+        out.push_str(&format!(
+            "match plan ({} step{}, {negation}):\n",
+            self.steps.len(),
+            if self.steps.len() == 1 { "" } else { "s" }
+        ));
+        for (index, step) in self.steps.iter().enumerate() {
+            let display = name(step.node).unwrap_or_else(|| format!("n{}", step.node.index()));
+            out.push_str(&format!(
+                "  {}. bind {display} [{}] via {}  (est. {})\n",
+                index + 1,
+                step.label,
+                step.access,
+                step.estimate
+            ));
+        }
+        if self.parallel {
+            out.push_str(&format!(
+                "root candidates: {} -> morsel-parallel ({} threads, morsel {}, threshold {})\n",
+                self.root_candidates, self.threads, self.morsel, self.parallel_threshold
+            ));
+        } else {
+            out.push_str(&format!(
+                "root candidates: {} -> sequential ({} threads available, threshold {})\n",
+                self.root_candidates, self.threads, self.parallel_threshold
+            ));
+        }
+        out
+    }
+}
+
+/// Describe, without running it, the plan [`find_matchings_with`] would
+/// choose for `pattern` against `instance` under `config`: the binding
+/// order with per-step access paths and cold cardinality estimates,
+/// the exact root candidate count, and the sequential-vs-morsel
+/// decision. The root step is exactly the one the live search picks
+/// (both rank the same O(1) estimates against an empty binding);
+/// later steps are cold-ranked, whereas the live search re-ranks after
+/// every binding.
+pub fn explain_plan(pattern: &Pattern, instance: &Instance, config: MatchConfig) -> Result<Plan> {
+    if pattern.has_method_head() {
+        return Err(GoodError::InvalidPattern(
+            "patterns with method-head nodes must be rewritten by a method call before matching"
+                .into(),
+        ));
+    }
+    pattern.validate(instance.scheme())?;
+    let positive = pattern.positive_part();
+    let nodes: Vec<NodeId> = positive.graph().node_ids().collect();
+    let search = Search {
+        pattern: &positive,
+        instance,
+        nodes: nodes.clone(),
+    };
+    let empty = search.frame();
+    let threads = config.resolved_threads();
+    let mut planned: BTreeSet<NodeId> = BTreeSet::new();
+    let mut steps = Vec::new();
+    let mut root_candidates = 0usize;
+    while planned.len() < nodes.len() {
+        let (estimate, node) = nodes
+            .iter()
+            .filter(|n| !planned.contains(n))
+            .map(|&n| (search.candidate_estimate(n, &empty), n))
+            .min()
+            .expect("an unplanned node remains");
+        if planned.is_empty() {
+            root_candidates = search.candidates(node, &empty).len();
+        }
+        let label = match &positive.graph().node(node).expect("live pattern node").kind {
+            PatternNodeKind::Class(label) => label.to_string(),
+            _ => "?".into(),
+        };
+        let access = search.describe_access(node, &planned);
+        steps.push(PlanStep {
+            node,
+            label,
+            access,
+            estimate,
+        });
+        planned.insert(node);
+    }
+    let parallel = !nodes.is_empty() && threads > 1 && root_candidates >= config.parallel_threshold;
+    let morsel = if parallel {
+        (root_candidates / (threads * 8)).clamp(1, 1024)
+    } else {
+        0
+    };
+    Ok(Plan {
+        steps,
+        root_candidates,
+        threads,
+        parallel_threshold: config.parallel_threshold,
+        parallel,
+        morsel,
+        negation: pattern.has_negation(),
+    })
 }
 
 /// True if the pattern matches at least once (early-exit variant).
@@ -718,7 +974,8 @@ pub fn matches_once(pattern: &Pattern, instance: &Instance) -> Result<bool> {
     };
     let mut found = false;
     let mut frame = search.frame();
-    search.solve(&mut frame, &mut |_| {
+    let mut steps = 0u64;
+    search.solve(&mut frame, &mut steps, &mut |_| {
         found = true;
         false
     });

@@ -298,6 +298,42 @@ pub fn execute_call(call: &MethodCall, db: &mut Instance, env: &mut Env) -> Resu
         }
     }
 
+    // The scope entry and span cover the whole K-construction (frame
+    // addition, body, frame deletion, scheme restriction); the closure
+    // guarantees the scope stack unwinds on every exit path.
+    env.enter_method(&call.method);
+    let mut method_span = if good_trace::enabled() {
+        good_trace::span("method", &format!("method/{}", call.method))
+    } else {
+        good_trace::SpanGuard::disabled()
+    };
+    if method_span.is_live() {
+        method_span.arg("depth", env.method_depth());
+        good_trace::counter_add("method.calls", 1);
+    }
+    let fuel_before = env.fuel_left();
+    let result = run_call(&method, call, receiver_label, db, env);
+    if method_span.is_live() {
+        method_span.arg("fuel_burned", fuel_before - env.fuel_left());
+        if let Ok(report) = &result {
+            method_span.arg("matchings", report.matchings);
+        }
+    }
+    drop(method_span);
+    env.exit_method();
+    result
+}
+
+/// The K-construction proper (steps 1–4 of the module doc), factored
+/// out of [`execute_call`] so scope/span bookkeeping wraps every exit
+/// path exactly once.
+fn run_call(
+    method: &Method,
+    call: &MethodCall,
+    receiver_label: &Label,
+    db: &mut Instance,
+    env: &mut Env,
+) -> Result<OpReport> {
     // ---- snapshot the call-time scheme for the final restriction -------
     let call_scheme = db.scheme().clone();
 
@@ -329,7 +365,7 @@ pub fn execute_call(call: &MethodCall, db: &mut Instance, env: &mut Env) -> Resu
         } else {
             Some(receiver_label.clone())
         };
-        for body_op in &method.body {
+        for (body_index, body_op) in method.body.iter().enumerate() {
             let mut rewritten = rewrite_body_op(body_op, &method.spec.name, &frame)?;
             if let Some(actual) = &subclass_receiver {
                 adapt_for_subclass_receiver(
@@ -340,8 +376,10 @@ pub fn execute_call(call: &MethodCall, db: &mut Instance, env: &mut Env) -> Resu
                     db,
                 )?;
             }
-            let sub_report = rewritten.apply(db, env)?;
-            report.absorb(&sub_report);
+            env.enter_op(body_index, body_op.mnemonic());
+            let sub_report = rewritten.apply(db, env);
+            env.exit_op();
+            report.absorb(&sub_report?);
         }
         // `matchings` reports the CALL pattern's matchings, not the sum
         // over body operations.

@@ -114,13 +114,16 @@ impl NodeAddition {
         // mutation pass over the pending vectors.
         let mut pending: Vec<Vec<NodeId>> = Vec::new();
         let mut claimed: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+        let mut dedup_hits = 0u64;
         for matching in &matchings {
             let key: Vec<NodeId> = self.edges.iter().map(|(_, m)| matching.image(*m)).collect();
             if existing.contains_key(&key) || !claimed.insert(key.clone()) {
+                dedup_hits += 1;
                 continue;
             }
             pending.push(key);
         }
+        good_trace::counter_add("op.na.dedup_hits", dedup_hits);
         for key in pending {
             let fresh = db.add_object(self.label.clone())?;
             for ((edge_label, _), target) in self.edges.iter().zip(&key) {

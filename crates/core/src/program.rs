@@ -77,14 +77,42 @@ impl Operation {
     /// Apply this operation to `db` within `env`.
     pub fn apply(&self, db: &mut Instance, env: &mut Env) -> Result<OpReport> {
         env.burn_fuel()?;
-        match self {
+        // Static span names for the five basic ops keep the disabled
+        // path allocation-free; the method call's dynamic name is built
+        // only when a recorder is installed.
+        let mut op_span = match self {
+            Operation::NodeAdd(_) => good_trace::span("op", "op/NA"),
+            Operation::EdgeAdd(_) => good_trace::span("op", "op/EA"),
+            Operation::NodeDel(_) => good_trace::span("op", "op/ND"),
+            Operation::EdgeDel(_) => good_trace::span("op", "op/ED"),
+            Operation::Abstract(_) => good_trace::span("op", "op/AB"),
+            Operation::Call(op) => {
+                if good_trace::enabled() {
+                    good_trace::span("op", &format!("op/MC:{}", op.method))
+                } else {
+                    good_trace::SpanGuard::disabled()
+                }
+            }
+        };
+        let result = match self {
             Operation::NodeAdd(op) => op.apply(db),
             Operation::EdgeAdd(op) => op.apply(db),
             Operation::NodeDel(op) => op.apply(db),
             Operation::EdgeDel(op) => op.apply(db),
             Operation::Abstract(op) => op.apply(db),
             Operation::Call(op) => execute_call(op, db, env),
+        };
+        if op_span.is_live() {
+            good_trace::counter_add("op.applied", 1);
+            if let Ok(report) = &result {
+                op_span.arg("matchings", report.matchings);
+                op_span.arg("nodes_added", report.created_nodes.len());
+                op_span.arg("edges_added", report.edges_added);
+                op_span.arg("nodes_deleted", report.nodes_deleted);
+                op_span.arg("edges_deleted", report.edges_deleted);
+            }
         }
+        result
     }
 }
 
@@ -126,6 +154,21 @@ impl fmt::Display for Operation {
     }
 }
 
+/// One entry of the execution scope stack: which program op or method
+/// call the engine is currently inside. Maintained by [`Program::apply`]
+/// and the method machinery so fuel exhaustion can say *where* the
+/// budget ran out.
+#[derive(Debug, Clone)]
+enum ScopeEntry {
+    /// Inside a method call of the named method.
+    Method(String),
+    /// Inside a program or method-body operation.
+    Op {
+        index: usize,
+        mnemonic: &'static str,
+    },
+}
+
 /// The execution environment: registered methods plus a fuel bound.
 #[derive(Debug, Clone)]
 pub struct Env {
@@ -133,6 +176,7 @@ pub struct Env {
     fuel: u64,
     budget: u64,
     frame_counter: u64,
+    scope: Vec<ScopeEntry>,
 }
 
 /// Default fuel: generous for any reasonable program, small enough that
@@ -158,6 +202,7 @@ impl Env {
             fuel,
             budget: fuel,
             frame_counter: 0,
+            scope: Vec::new(),
         }
     }
 
@@ -181,10 +226,53 @@ impl Env {
         if self.fuel == 0 {
             return Err(GoodError::OutOfFuel {
                 budget: self.budget,
+                context: self.scope_context(),
             });
         }
         self.fuel -= 1;
         Ok(())
+    }
+
+    /// Human description of the current execution scope — the method
+    /// call stack interleaved with op indices, outermost first, e.g.
+    /// `op 2 (MC) > method Update > op 1 (EA)`. Empty outside any
+    /// program or method.
+    pub fn scope_context(&self) -> String {
+        self.scope
+            .iter()
+            .map(|entry| match entry {
+                ScopeEntry::Method(name) => format!("method {name}"),
+                ScopeEntry::Op { index, mnemonic } => format!("op {index} ({mnemonic})"),
+            })
+            .collect::<Vec<_>>()
+            .join(" > ")
+    }
+
+    /// Current method recursion depth (number of method frames on the
+    /// scope stack).
+    pub fn method_depth(&self) -> usize {
+        self.scope
+            .iter()
+            .filter(|entry| matches!(entry, ScopeEntry::Method(_)))
+            .count()
+    }
+
+    pub(crate) fn enter_op(&mut self, index: usize, mnemonic: &'static str) {
+        self.scope.push(ScopeEntry::Op { index, mnemonic });
+    }
+
+    pub(crate) fn exit_op(&mut self) {
+        debug_assert!(matches!(self.scope.last(), Some(ScopeEntry::Op { .. })));
+        self.scope.pop();
+    }
+
+    pub(crate) fn enter_method(&mut self, name: &str) {
+        self.scope.push(ScopeEntry::Method(name.to_string()));
+    }
+
+    pub(crate) fn exit_method(&mut self) {
+        debug_assert!(matches!(self.scope.last(), Some(ScopeEntry::Method(_))));
+        self.scope.pop();
     }
 
     /// Remaining fuel (for diagnostics).
@@ -250,11 +338,34 @@ impl Program {
     /// undefined result for the whole program).
     pub fn apply(&self, db: &mut Instance, env: &mut Env) -> Result<OpReport> {
         let mut total = OpReport::default();
-        for op in &self.ops {
-            let report = op.apply(db, env)?;
-            total.absorb(&report);
+        for (index, op) in self.ops.iter().enumerate() {
+            env.enter_op(index, op.mnemonic());
+            let result = op.apply(db, env);
+            env.exit_op();
+            total.absorb(&result?);
         }
         Ok(total)
+    }
+
+    /// PROFILE variant of [`Program::apply`]: runs the program with a
+    /// private span collector spliced in (teeing to any recorder that
+    /// was already installed, which is restored afterwards) and returns
+    /// the per-op cost tree alongside the report. Works whether or not
+    /// tracing was enabled before the call.
+    pub fn apply_profiled(&self, db: &mut Instance, env: &mut Env) -> Result<(OpReport, Profile)> {
+        use std::sync::Arc;
+        let collector = Arc::new(good_trace::Collector::new());
+        let previous = good_trace::current_recorder();
+        let recorder: Arc<dyn good_trace::Recorder> = match &previous {
+            Some(outer) => Arc::new(good_trace::Tee(collector.clone(), outer.clone())),
+            None => collector.clone(),
+        };
+        good_trace::swap_recorder(Some(recorder));
+        let result = self.apply(db, env);
+        good_trace::swap_recorder(previous);
+        let report = result?;
+        let tree = good_trace::SpanTree::build(&collector.take());
+        Ok((report, Profile { tree }))
     }
 
     /// Run the program in **query mode** (Section 3's "whether this
@@ -267,6 +378,22 @@ impl Program {
         let mut temporary = db.clone();
         let report = self.apply(&mut temporary, env)?;
         Ok((temporary, report))
+    }
+}
+
+/// The cost tree captured by [`Program::apply_profiled`]: every span
+/// the program emitted (op, matcher, method, and — when the program
+/// runs inside a store — journal spans), nested and timed.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// The captured span forest.
+    pub tree: good_trace::SpanTree,
+}
+
+impl Profile {
+    /// Indented per-op cost report with durations.
+    pub fn render(&self) -> String {
+        self.tree.render_with_times()
     }
 }
 
@@ -353,9 +480,50 @@ mod tests {
             Operation::NodeAdd(NodeAddition::new(Pattern::new(), "B", [])),
         ]);
         let err = program.apply(&mut db, &mut env).unwrap_err();
-        assert!(matches!(err, GoodError::OutOfFuel { budget: 1 }));
+        assert!(matches!(err, GoodError::OutOfFuel { budget: 1, .. }));
+        // The error names the op whose application exhausted the budget.
+        assert!(
+            err.to_string().contains("op 1 (NA)"),
+            "fuel error should carry scope context: {err}"
+        );
         env.refuel();
         assert_eq!(env.fuel_left(), 1);
+    }
+
+    #[test]
+    fn scope_context_unwinds_cleanly() {
+        let mut db = db();
+        let mut env = Env::new();
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let program = Program::from_ops([Operation::NodeAdd(NodeAddition::new(
+            p,
+            "Tag",
+            [(crate::label::Label::new("of"), info)],
+        ))]);
+        program.apply(&mut db, &mut env).unwrap();
+        assert_eq!(env.scope_context(), "");
+        assert_eq!(env.method_depth(), 0);
+    }
+
+    #[test]
+    fn profiled_apply_captures_op_spans() {
+        let mut db = db();
+        let mut env = Env::new();
+        let mut p = Pattern::new();
+        let info = p.node("Info");
+        let program = Program::from_ops([Operation::NodeAdd(NodeAddition::new(
+            p,
+            "Tag",
+            [(crate::label::Label::new("of"), info)],
+        ))]);
+        let (report, profile) = program.apply_profiled(&mut db, &mut env).unwrap();
+        assert_eq!(report.created_nodes.len(), 1);
+        let rendered = profile.render();
+        assert!(rendered.contains("op/NA"), "{rendered}");
+        assert!(rendered.contains("match/find"), "{rendered}");
+        // The splice is restored: tracing is off again afterwards.
+        assert!(!good_trace::enabled());
     }
 
     #[test]

@@ -115,8 +115,13 @@ pub(crate) fn append_record(file: &mut dyn VfsFile, record: &LogRecord) -> Resul
         message: err.to_string(),
     })?;
     line.push('\n');
+    let mut append_span = good_trace::span("store", "store/append");
+    append_span.arg("bytes", line.len());
     file.append(line.as_bytes())?;
-    file.sync_data()?;
+    {
+        let _fsync_span = good_trace::span("store", "store/fsync");
+        file.sync_data()?;
+    }
     Ok(())
 }
 

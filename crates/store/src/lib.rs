@@ -187,6 +187,7 @@ impl Store {
     /// [`Store::open`] over an explicit [`Vfs`].
     pub fn open_with_vfs(vfs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<Store> {
         let path = path.as_ref().to_path_buf();
+        let mut recovery_span = good_trace::span("store", "store/recovery");
         let bytes = vfs.read(&path)?;
         let scan = journal::scan(&bytes)?;
 
@@ -223,7 +224,17 @@ impl Store {
             records += 1;
         }
         let db = db.ok_or(StoreError::MissingSnapshot)?;
-        db.validate()?;
+        // Semantic invariants are always re-checked after replay; the
+        // full adjacency/label-index audit is O(nodes + edges) of
+        // redundant work in release (replay maintains the indexes
+        // incrementally through the same code paths the audit checks),
+        // so it runs only in debug builds.
+        db.validate_semantics()?;
+        #[cfg(debug_assertions)]
+        db.validate_indexes()?;
+        recovery_span.arg("records", records);
+        recovery_span.arg("torn_tail", scan.torn_tail);
+        drop(recovery_span);
 
         let mut file;
         if scan.torn_tail {
@@ -310,12 +321,15 @@ impl Store {
     /// [`StoreError::Poisoned`]).
     pub fn execute(&mut self, program: &Program) -> Result<OpReport> {
         self.check_poisoned()?;
+        let mut execute_span = good_trace::span("store", "store/execute");
+        execute_span.arg("ops", program.len());
         let mut next = self.db.clone();
         self.env.refuel();
         let report = program.apply(&mut next, &mut self.env)?;
         self.append_durably(&LogRecord::Apply(program.clone()))?;
         self.db = next;
         self.records += 1;
+        execute_span.arg("matchings", report.matchings);
         Ok(report)
     }
 
@@ -331,6 +345,8 @@ impl Store {
     /// or the append handle is uncertain).
     pub fn checkpoint(&mut self) -> Result<()> {
         self.check_poisoned()?;
+        let mut checkpoint_span = good_trace::span("store", "store/checkpoint");
+        checkpoint_span.arg("records_before", self.records);
         let tmp_path = self.path.with_extension("journal.tmp");
         {
             let mut tmp = self.vfs.create_truncate(&tmp_path)?;

@@ -34,7 +34,7 @@ use crate::{Store, StoreError};
 use good_core::gen::{bench_scheme, random_workload};
 use good_core::instance::Instance;
 use good_core::label::Label;
-use good_core::method::{Method, MethodSpec};
+use good_core::method::{Method, MethodCall, MethodSpec};
 use good_core::ops::NodeAddition;
 use good_core::pattern::Pattern;
 use good_core::program::{Env, Operation, Program, DEFAULT_FUEL};
@@ -168,6 +168,17 @@ fn mark_method() -> Method {
     )
 }
 
+/// A program calling [`mark_method`] on every `Info` object, spliced
+/// into the workload right after the registration so method execution
+/// (K-frame construction, fuel accounting, method spans) is on the
+/// torture path, not just the RegisterMethod record.
+fn mark_call_program() -> Program {
+    let mut pattern = Pattern::new();
+    let receiver = pattern.node("Info");
+    let call = MethodCall::new("Mark", pattern, receiver, []);
+    Program::from_ops([Operation::Call(call)])
+}
+
 /// An unconditional append used to prove a recovered journal accepts
 /// new records cleanly.
 fn probe_program() -> Program {
@@ -208,7 +219,10 @@ fn run_workload(
     config: &TortureConfig,
     mut history: Option<&mut Vec<Instance>>,
 ) -> TortureResult<RunOutcome> {
-    let programs = random_workload(config.seed, config.programs);
+    let mut programs = random_workload(config.seed, config.programs);
+    // Registration happens before executing program 1 (below), so the
+    // call spliced in at index 1 runs immediately after it.
+    programs.insert(1, mark_call_program());
     let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
     let crash_at = vfs.plan_crash_at();
     let mut store = match Store::create_with_vfs(arc, JOURNAL_PATH, bench_scheme()) {
@@ -307,13 +321,16 @@ fn golden_run(config: &TortureConfig) -> TortureResult<(Vec<Instance>, u64)> {
     let vfs = FaultVfs::new(FaultPlan::reliable(config.seed));
     let mut history = Vec::with_capacity(config.programs + 1);
     let outcome = run_workload(&vfs, config, Some(&mut history))?;
-    if outcome.acked != config.programs {
+    // The workload is `programs` random programs plus the spliced-in
+    // method call.
+    let expected = config.programs + 1;
+    if outcome.acked != expected {
         return Err(failure(
             config,
             None,
             format!(
                 "golden run acknowledged {} of {} programs",
-                outcome.acked, config.programs
+                outcome.acked, expected
             ),
             &vfs,
         ));

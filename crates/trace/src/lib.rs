@@ -1,0 +1,962 @@
+//! `good-trace` — zero-dependency tracing, metrics, and profiling for
+//! the GOOD reproduction.
+//!
+//! The engine's pattern matcher, operation layer, method machinery, and
+//! journaled store all emit structured [`Span`]s through this crate.
+//! The design contract, in order of importance:
+//!
+//! 1. **Zero cost when off.** No recorder installed means every
+//!    instrumentation point reduces to one relaxed atomic load
+//!    ([`enabled`]) and an immediate return — no clock read, no
+//!    allocation, no lock. E14 in EXPERIMENTS.md keeps this honest with
+//!    an A/B benchmark.
+//! 2. **Determinism-compatible.** The engine guarantees bit-identical
+//!    results at any thread count; the trace layer must not break that,
+//!    and its own output must be reproducible: spans carry a per-thread
+//!    begin sequence and nesting depth, so a [`SpanTree`] rebuilt from
+//!    any interleaving is deterministic per thread, and
+//!    [`SpanTree::canonicalize`] erases worker scheduling entirely.
+//!    Timestamps are monotonic ([`std::time::Instant`]-based) and kept
+//!    out of the tree's identity.
+//! 3. **`std::thread::scope`-safe.** Matcher morsel workers are scoped
+//!    threads; each gets its own ordinal and sequence from thread-local
+//!    state, and completed spans are delivered straight to the installed
+//!    [`Recorder`], so nothing is lost when a scoped thread exits.
+//!
+//! Alongside spans there is a process-wide metrics registry (counters,
+//! gauges, and power-of-two latency histograms — see [`counter_add`],
+//! [`gauge_set`], [`observe_ns`]) snapshotable as JSON, and two
+//! renderers: an indented text report and Chrome `trace_event` JSON
+//! loadable in `chrome://tracing` / Perfetto ([`chrome_trace_json`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---- global recorder registry ------------------------------------------
+
+/// Fast-path gate: true iff a recorder is installed. Every
+/// instrumentation point checks this single relaxed load before doing
+/// any other work.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static RECORDER: Mutex<Option<Arc<dyn Recorder>>> = Mutex::new(None);
+
+/// True iff a [`Recorder`] is installed. Instrumentation points with a
+/// dynamically built span name (or any other per-span allocation)
+/// should check this before constructing arguments.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `recorder` as the process-wide span sink, enabling all
+/// instrumentation. Replaces (and returns) any previous recorder.
+pub fn install(recorder: Arc<dyn Recorder>) -> Option<Arc<dyn Recorder>> {
+    swap_recorder(Some(recorder))
+}
+
+/// Remove the installed recorder, disabling all instrumentation, and
+/// return it.
+pub fn uninstall() -> Option<Arc<dyn Recorder>> {
+    swap_recorder(None)
+}
+
+/// Replace the installed recorder wholesale (used by profiled execution
+/// to splice a private collector in and out). `None` disables tracing.
+pub fn swap_recorder(next: Option<Arc<dyn Recorder>>) -> Option<Arc<dyn Recorder>> {
+    let mut slot = RECORDER.lock().expect("recorder registry poisoned");
+    ENABLED.store(next.is_some(), Ordering::Relaxed);
+    std::mem::replace(&mut slot, next)
+}
+
+/// The currently installed recorder, if any.
+pub fn current_recorder() -> Option<Arc<dyn Recorder>> {
+    RECORDER.lock().expect("recorder registry poisoned").clone()
+}
+
+/// Monotonic nanoseconds since the first trace event of the process.
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+// ---- per-thread bookkeeping --------------------------------------------
+
+static NEXT_THREAD_ORD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Small dense ordinal for this thread, assigned on first use.
+    static THREAD_ORD: Cell<u64> = const { Cell::new(u64::MAX) };
+    /// Per-thread begin-sequence counter: spans sorted by it recover
+    /// the order in which they were *opened* on the thread.
+    static NEXT_SEQ: Cell<u64> = const { Cell::new(0) };
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn thread_ord() -> u64 {
+    THREAD_ORD.with(|cell| {
+        let current = cell.get();
+        if current != u64::MAX {
+            return current;
+        }
+        let assigned = NEXT_THREAD_ORD.fetch_add(1, Ordering::Relaxed);
+        cell.set(assigned);
+        assigned
+    })
+}
+
+// ---- spans --------------------------------------------------------------
+
+/// A typed span/metric argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned count.
+    UInt(u64),
+    /// A signed quantity.
+    Int(i64),
+    /// A floating-point quantity.
+    Float(f64),
+    /// A short text value.
+    Text(String),
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::UInt(v) => write!(f, "{v}"),
+            ArgValue::Int(v) => write!(f, "{v}"),
+            ArgValue::Float(v) => write!(f, "{v}"),
+            ArgValue::Text(v) => f.write_str(v),
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::UInt(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::UInt(u64::from(v))
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::UInt(u64::from(v))
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Text(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Text(v)
+    }
+}
+
+/// One completed span: a named, categorized interval with arguments and
+/// enough ordering metadata (`thread`, `seq`, `depth`) to rebuild the
+/// per-thread nesting deterministically.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Coarse category (`match`, `op`, `method`, `store`, `vfs`, ...).
+    pub cat: &'static str,
+    /// Span name, e.g. `match/morsel` or `method/Update`.
+    pub name: String,
+    /// Monotonic start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Dense per-process thread ordinal (not an OS thread id).
+    pub thread: u64,
+    /// Per-thread begin sequence: sorting a thread's spans by `seq`
+    /// recovers the order in which they were opened.
+    pub seq: u64,
+    /// Nesting depth at open time on the owning thread.
+    pub depth: u32,
+    /// Key/value arguments attached while the span was open.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A sink for completed spans. Implementations must be cheap and
+/// thread-safe: `record` is called from matcher worker threads.
+pub trait Recorder: Send + Sync {
+    /// Accept one completed span.
+    fn record(&self, span: Span);
+}
+
+struct ActiveSpan {
+    cat: &'static str,
+    name: String,
+    start_ns: u64,
+    thread: u64,
+    seq: u64,
+    depth: u32,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// RAII guard for an open span; records it on drop. Obtain via
+/// [`span`]. A guard created while tracing is disabled is inert.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// An inert guard. Useful at instrumentation points that build the
+    /// span name dynamically and gate the allocation on [`enabled`]:
+    ///
+    /// ```
+    /// let _span = if good_trace::enabled() {
+    ///     good_trace::span("method", &format!("method/{}", "Update"))
+    /// } else {
+    ///     good_trace::SpanGuard::disabled()
+    /// };
+    /// ```
+    pub const fn disabled() -> Self {
+        SpanGuard(None)
+    }
+
+    /// True if this guard will record a span on drop.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attach an argument. No-op on an inert guard.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(active) = &mut self.0 {
+            active.args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        DEPTH.with(|depth| depth.set(depth.get().saturating_sub(1)));
+        let dur_ns = now_ns().saturating_sub(active.start_ns);
+        // The recorder may have been swapped out while the span was
+        // open (profiled sections do this); deliver to whatever is
+        // installed now, or drop silently.
+        if let Some(recorder) = current_recorder() {
+            recorder.record(Span {
+                cat: active.cat,
+                name: active.name,
+                start_ns: active.start_ns,
+                dur_ns,
+                thread: active.thread,
+                seq: active.seq,
+                depth: active.depth,
+                args: active.args,
+            });
+        }
+    }
+}
+
+/// Open a span. Returns an inert guard (no clock read, no allocation)
+/// when no recorder is installed.
+pub fn span(cat: &'static str, name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    let thread = thread_ord();
+    let seq = NEXT_SEQ.with(|cell| {
+        let seq = cell.get();
+        cell.set(seq + 1);
+        seq
+    });
+    let depth = DEPTH.with(|cell| {
+        let depth = cell.get();
+        cell.set(depth + 1);
+        depth
+    });
+    SpanGuard(Some(ActiveSpan {
+        cat,
+        name: name.to_string(),
+        start_ns: now_ns(),
+        thread,
+        seq,
+        depth,
+        args: Vec::new(),
+    }))
+}
+
+// ---- collector -----------------------------------------------------------
+
+/// The standard in-memory [`Recorder`]: accumulates spans under a
+/// mutex. Safe to share with scoped worker threads.
+#[derive(Default)]
+pub struct Collector {
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Collector {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Number of spans collected so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("collector poisoned").len()
+    }
+
+    /// True when no spans have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain all collected spans, sorted by `(thread, seq)` — i.e. by
+    /// per-thread open order, threads in first-use order.
+    pub fn take(&self) -> Vec<Span> {
+        let mut spans = std::mem::take(&mut *self.spans.lock().expect("collector poisoned"));
+        spans.sort_by_key(|s| (s.thread, s.seq));
+        spans
+    }
+
+    /// Copy of the collected spans (same order as [`Collector::take`])
+    /// without draining.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut spans = self.spans.lock().expect("collector poisoned").clone();
+        spans.sort_by_key(|s| (s.thread, s.seq));
+        spans
+    }
+}
+
+impl Recorder for Collector {
+    fn record(&self, span: Span) {
+        self.spans.lock().expect("collector poisoned").push(span);
+    }
+}
+
+/// A recorder that forwards every span to two sinks — used to capture a
+/// profiled section privately while an outer recorder keeps observing.
+pub struct Tee(
+    /// First sink.
+    pub Arc<dyn Recorder>,
+    /// Second sink.
+    pub Arc<dyn Recorder>,
+);
+
+impl Recorder for Tee {
+    fn record(&self, span: Span) {
+        self.0.record(span.clone());
+        self.1.record(span);
+    }
+}
+
+// ---- span trees ----------------------------------------------------------
+
+/// One node of a reconstructed span tree. Identity is `(cat, name,
+/// args, children)` — timestamps and durations are carried for display
+/// but excluded from [`SpanTree::render`] so trees of deterministic
+/// workloads compare byte-for-byte across runs.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span category.
+    pub cat: &'static str,
+    /// Span name.
+    pub name: String,
+    /// Stringified arguments, in attachment order.
+    pub args: Vec<(String, String)>,
+    /// Wall-clock duration (display only; not part of tree identity).
+    pub dur_ns: u64,
+    /// Child spans, in per-thread open order (or canonical order after
+    /// [`SpanTree::canonicalize`]).
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A canonical content key: the rendered subtree. Used to sort
+    /// siblings scheduling-independently.
+    fn key(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, false);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize, with_times: bool) {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        out.push_str(&self.name);
+        out.push_str("  [");
+        out.push_str(self.cat);
+        out.push(']');
+        for (key, value) in &self.args {
+            out.push(' ');
+            out.push_str(key);
+            out.push('=');
+            out.push_str(value);
+        }
+        if with_times {
+            out.push_str(&format!("  ({})", format_ns(self.dur_ns)));
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(out, indent + 1, with_times);
+        }
+    }
+}
+
+/// A forest of spans reconstructed from a flat capture.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// Root spans (depth 0 on their owning thread), thread by thread.
+    pub roots: Vec<SpanNode>,
+}
+
+impl SpanTree {
+    /// Rebuild the forest from captured spans. Within a thread, spans
+    /// are ordered by begin sequence and nested by recorded depth —
+    /// both deterministic for a deterministic workload. Spans opened on
+    /// worker threads (whose stacks are independent) appear as roots.
+    pub fn build(spans: &[Span]) -> SpanTree {
+        let mut sorted: Vec<&Span> = spans.iter().collect();
+        sorted.sort_by_key(|s| (s.thread, s.seq));
+        let mut roots: Vec<SpanNode> = Vec::new();
+        // Stack of (depth, index-path) per thread; rebuilt on thread switch.
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        let mut current_thread = None;
+        for span in sorted {
+            if current_thread != Some(span.thread) {
+                current_thread = Some(span.thread);
+                stack.clear();
+            }
+            while let Some((depth, _)) = stack.last() {
+                if *depth >= span.depth {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let node = SpanNode {
+                cat: span.cat,
+                name: span.name.clone(),
+                args: span
+                    .args
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                dur_ns: span.dur_ns,
+                children: Vec::new(),
+            };
+            // Walk the index path to the insertion point.
+            let siblings = {
+                let mut level: &mut Vec<SpanNode> = &mut roots;
+                for (_, index) in &stack {
+                    level = &mut level[*index].children;
+                }
+                level
+            };
+            siblings.push(node);
+            stack.push((span.depth, siblings.len() - 1));
+        }
+        SpanTree { roots }
+    }
+
+    /// Sort sibling subtrees (recursively, roots included) by content,
+    /// erasing thread-scheduling order. Two runs of the same
+    /// deterministic workload render identically after this, whatever
+    /// the thread count.
+    pub fn canonicalize(&mut self) {
+        fn sort(nodes: &mut [SpanNode]) {
+            for node in nodes.iter_mut() {
+                sort(&mut node.children);
+            }
+            nodes.sort_by_cached_key(SpanNode::key);
+        }
+        sort(&mut self.roots);
+    }
+
+    /// Indented text rendering *without* timestamps or durations: the
+    /// deterministic identity of the tree.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            root.render_into(&mut out, 0, false);
+        }
+        out
+    }
+
+    /// Indented text rendering with per-span durations (for PROFILE
+    /// reports; not deterministic across runs).
+    pub fn render_with_times(&self) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            root.render_into(&mut out, 0, true);
+        }
+        out
+    }
+}
+
+/// Human formatting for a nanosecond duration.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+// ---- Chrome trace_event output ------------------------------------------
+
+fn escape_json(text: &str, out: &mut String) {
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render captured spans as Chrome `trace_event` JSON (the
+/// `{"traceEvents": [...]}` object form), loadable in `chrome://tracing`
+/// and Perfetto. Every span becomes a complete (`"ph":"X"`) event;
+/// timestamps are microseconds relative to the process trace epoch;
+/// `tid` is the dense thread ordinal. Argument values are emitted as
+/// strings so the vendored minimal JSON reader can round-trip them.
+pub fn chrome_trace_json(spans: &[Span]) -> String {
+    let mut sorted: Vec<&Span> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.thread, s.seq));
+    let mut out = String::from("{\"traceEvents\":[");
+    for (index, span) in sorted.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(&span.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json(span.cat, &mut out);
+        out.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&span.thread.to_string());
+        out.push_str(",\"ts\":");
+        out.push_str(&format!(
+            "{}.{:03}",
+            span.start_ns / 1000,
+            span.start_ns % 1000
+        ));
+        out.push_str(",\"dur\":");
+        out.push_str(&format!("{}.{:03}", span.dur_ns / 1000, span.dur_ns % 1000));
+        out.push_str(",\"args\":{");
+        for (arg_index, (key, value)) in span.args.iter().enumerate() {
+            if arg_index > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(key, &mut out);
+            out.push_str("\":\"");
+            escape_json(&value.to_string(), &mut out);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+// ---- metrics registry ----------------------------------------------------
+
+/// Power-of-two histogram: bucket `i` counts observations in
+/// `[2^(i-1), 2^i)` (bucket 0 counts zeros).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        let index = (64 - value.leading_zeros()) as usize;
+        self.buckets[index] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(index, count)| {
+                // Inclusive ("le") upper bound of bucket `index`: bucket 0
+                // holds only zeros; bucket i holds [2^(i-1), 2^i).
+                let upper = if index == 0 {
+                    0
+                } else if index >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << index) - 1
+                };
+                (upper, *count)
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(Box<Histogram>),
+}
+
+/// The process-wide metrics registry. All mutation entry points are
+/// no-ops while tracing is disabled, preserving the zero-cost-off
+/// contract.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+fn registry() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(Metrics::default)
+}
+
+/// Add `delta` to the counter `name` (no-op unless tracing is enabled).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = registry().inner.lock().expect("metrics poisoned");
+    if let Metric::Counter(total) = inner.entry(name).or_insert(Metric::Counter(0)) {
+        *total += delta;
+    }
+}
+
+/// Set the gauge `name` (no-op unless tracing is enabled).
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = registry().inner.lock().expect("metrics poisoned");
+    inner.insert(name, Metric::Gauge(value));
+}
+
+/// Record one observation (typically a latency in nanoseconds) into the
+/// power-of-two histogram `name` (no-op unless tracing is enabled).
+pub fn observe_ns(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = registry().inner.lock().expect("metrics poisoned");
+    if let Metric::Histogram(histogram) = inner
+        .entry(name)
+        .or_insert_with(|| Metric::Histogram(Box::default()))
+    {
+        histogram.observe(value);
+    }
+}
+
+/// Clear every metric.
+pub fn metrics_reset() {
+    registry().inner.lock().expect("metrics poisoned").clear();
+}
+
+/// Snapshot the registry as a JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,"sum":..,"max":..,"buckets":[[le,count],..]}}}`.
+pub fn metrics_snapshot_json() -> String {
+    let inner = registry().inner.lock().expect("metrics poisoned");
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut histograms = String::new();
+    for (name, metric) in inner.iter() {
+        match metric {
+            Metric::Counter(total) => {
+                if !counters.is_empty() {
+                    counters.push(',');
+                }
+                counters.push('"');
+                escape_json(name, &mut counters);
+                counters.push_str(&format!("\":{total}"));
+            }
+            Metric::Gauge(value) => {
+                if !gauges.is_empty() {
+                    gauges.push(',');
+                }
+                gauges.push('"');
+                escape_json(name, &mut gauges);
+                gauges.push_str(&format!("\":{value}"));
+            }
+            Metric::Histogram(histogram) => {
+                if !histograms.is_empty() {
+                    histograms.push(',');
+                }
+                histograms.push('"');
+                escape_json(name, &mut histograms);
+                histograms.push_str(&format!(
+                    "\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                    histogram.count, histogram.sum, histogram.max
+                ));
+                for (index, (upper, count)) in histogram.nonzero_buckets().iter().enumerate() {
+                    if index > 0 {
+                        histograms.push(',');
+                    }
+                    histograms.push_str(&format!("[{upper},{count}]"));
+                }
+                histograms.push_str("]}");
+            }
+        }
+    }
+    format!(
+        "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests share the process-global recorder slot; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = lock();
+        uninstall();
+        let mut span = span("test", "never");
+        assert!(!span.is_live());
+        span.arg("k", 1u64); // no-op, no panic
+    }
+
+    #[test]
+    fn spans_nest_and_merge_deterministically() {
+        let _guard = lock();
+        let collector = Arc::new(Collector::new());
+        install(collector.clone());
+        {
+            let mut outer = span("test", "outer");
+            outer.arg("n", 2u64);
+            {
+                let _a = span("test", "child-a");
+            }
+            {
+                let _b = span("test", "child-b");
+            }
+        }
+        uninstall();
+        let spans = collector.take();
+        assert_eq!(spans.len(), 3);
+        let tree = SpanTree::build(&spans);
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].name, "outer");
+        assert_eq!(tree.roots[0].children.len(), 2);
+        assert_eq!(tree.roots[0].children[0].name, "child-a");
+        let rendered = tree.render();
+        assert!(rendered.contains("outer  [test] n=2"), "{rendered}");
+        assert!(
+            !rendered.contains("ns"),
+            "durations must stay out: {rendered}"
+        );
+    }
+
+    #[test]
+    fn scoped_worker_threads_get_their_own_roots() {
+        let _guard = lock();
+        let collector = Arc::new(Collector::new());
+        install(collector.clone());
+        {
+            let _outer = span("test", "driver");
+            std::thread::scope(|scope| {
+                for index in 0..2 {
+                    scope.spawn(move || {
+                        let mut worker = span("test", "worker");
+                        worker.arg("chunk", index as u64);
+                    });
+                }
+            });
+        }
+        uninstall();
+        let spans = collector.take();
+        assert_eq!(spans.len(), 3);
+        let mut tree = SpanTree::build(&spans);
+        // Worker spans are roots of their own threads; the driver span
+        // has no children.
+        assert_eq!(tree.roots.len(), 3);
+        tree.canonicalize();
+        let rendered = tree.render();
+        assert!(rendered.contains("chunk=0") && rendered.contains("chunk=1"));
+    }
+
+    #[test]
+    fn canonicalize_erases_sibling_order() {
+        let make = |first: &str, second: &str| {
+            let spans = vec![
+                Span {
+                    cat: "t",
+                    name: first.into(),
+                    start_ns: 0,
+                    dur_ns: 1,
+                    thread: 0,
+                    seq: 0,
+                    depth: 0,
+                    args: vec![],
+                },
+                Span {
+                    cat: "t",
+                    name: second.into(),
+                    start_ns: 1,
+                    dur_ns: 1,
+                    thread: 1,
+                    seq: 0,
+                    depth: 0,
+                    args: vec![],
+                },
+            ];
+            let mut tree = SpanTree::build(&spans);
+            tree.canonicalize();
+            tree.render()
+        };
+        assert_eq!(make("a", "b"), make("b", "a"));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let spans = vec![Span {
+            cat: "match",
+            name: "match/find".into(),
+            start_ns: 1_234_567,
+            dur_ns: 89_012,
+            thread: 0,
+            seq: 0,
+            depth: 0,
+            args: vec![("matchings", ArgValue::UInt(3))],
+        }];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ts\":1234.567"), "{json}");
+        assert!(json.contains("\"matchings\":\"3\""), "{json}");
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        let _guard = lock();
+        let collector = Arc::new(Collector::new());
+        install(collector);
+        metrics_reset();
+        counter_add("test.count", 2);
+        counter_add("test.count", 3);
+        gauge_set("test.gauge", -7);
+        observe_ns("test.lat", 0);
+        observe_ns("test.lat", 1000);
+        observe_ns("test.lat", 1500);
+        let json = metrics_snapshot_json();
+        uninstall();
+        metrics_reset();
+        assert!(json.contains("\"test.count\":5"), "{json}");
+        assert!(json.contains("\"test.gauge\":-7"), "{json}");
+        assert!(json.contains("\"count\":3"), "{json}");
+        // 1000 lands in [512, 1024) (le 1023), 1500 in [1024, 2048).
+        assert!(json.contains("[1023,1]"), "{json}");
+        assert!(json.contains("[2047,1]"), "{json}");
+        assert!(json.contains("[0,1]"), "{json}");
+    }
+
+    #[test]
+    fn metrics_are_noops_when_disabled() {
+        let _guard = lock();
+        uninstall();
+        metrics_reset();
+        counter_add("test.off", 1);
+        observe_ns("test.off.lat", 5);
+        gauge_set("test.off.gauge", 5);
+        assert_eq!(
+            metrics_snapshot_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_bounds() {
+        let mut histogram = Histogram::default();
+        histogram.observe(0);
+        histogram.observe(1);
+        histogram.observe(2);
+        histogram.observe(u64::MAX);
+        let buckets = histogram.nonzero_buckets();
+        assert_eq!(buckets[0], (0, 1)); // zeros land in bucket 0 (le 0)
+        assert_eq!(buckets[1], (1, 1)); // [1, 2) → le 1
+        assert_eq!(buckets[2], (3, 1)); // [2, 4) → le 3
+        assert_eq!(buckets[3], (u64::MAX, 1));
+        assert_eq!(histogram.count(), 4);
+    }
+
+    #[test]
+    fn tee_duplicates_spans() {
+        let _guard = lock();
+        let a = Arc::new(Collector::new());
+        let b = Arc::new(Collector::new());
+        install(Arc::new(Tee(a.clone(), b.clone())));
+        {
+            let _span = span("test", "tee");
+        }
+        uninstall();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}
