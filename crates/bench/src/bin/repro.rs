@@ -30,19 +30,17 @@ fn main() {
         }};
     }
 
-    let dot = |name: &str, contents: String| {
+    // All figure DOT renderings come from the same generator the
+    // golden tests diff (see crates/bench/tests/figures.rs).
+    for (name, contents) in good_bench::figure_dots() {
         std::fs::write(out.join(name), contents).expect("write dot file");
-    };
+    }
 
     line!("# GOOD figure reproduction report");
     line!("");
 
     // ---- Figures 1–3 -----------------------------------------------------
     let scheme = build_scheme();
-    dot(
-        "fig1-scheme.dot",
-        scheme.to_dot("Figure 1: hyper-media scheme"),
-    );
     line!(
         "F1   scheme: {} object classes, {} printable classes, {} triples -> fig1-scheme.dot",
         scheme.object_labels().count(),
@@ -51,7 +49,6 @@ fn main() {
     );
 
     let (db0, h) = build_instance();
-    dot("fig2-instance.dot", db0.to_dot("Figures 2-3: instance"));
     line!(
         "F2-3 instance: {} nodes, {} edges; Jan 12 1990 is one shared node with {} created-sources",
         db0.node_count(),
@@ -66,20 +63,12 @@ fn main() {
 
     // ---- Figures 4–5 -------------------------------------------------------
     let (pattern, _) = figures::fig4_pattern();
-    dot(
-        "fig4-pattern.dot",
-        pattern.to_dot("Figure 4: pattern", db0.scheme()),
-    );
     let matchings = find_matchings(&pattern, &db0).expect("fig4 matches");
     line!("F4-5 pattern matchings: {} (paper: 2)", matchings.len());
 
     // ---- Figure 6–7 ----------------------------------------------------------
     let mut db = db0.clone();
     let report6 = figures::fig6_node_addition().apply(&mut db).expect("fig6");
-    dot(
-        "fig7-result.dot",
-        db.to_dot("Figure 7: after node addition"),
-    );
     line!(
         "F6-7 node addition: {} matchings, {} tag nodes added (paper: 2)",
         report6.matchings,
@@ -100,10 +89,6 @@ fn main() {
     let report10 = figures::fig10_edge_addition()
         .apply(&mut db)
         .expect("fig10");
-    dot(
-        "fig11-result.dot",
-        db.to_dot("Figure 11: after edge addition"),
-    );
     line!(
         "F10-11 edge addition: {} data-creation edges (paper: 2)",
         report10.edges_added
@@ -122,10 +107,6 @@ fn main() {
     figures::fig14_node_deletion()
         .apply(&mut db)
         .expect("fig14");
-    dot(
-        "fig15-result.dot",
-        db.to_dot("Figure 15: after node deletion"),
-    );
     line!(
         "F14-15 node deletion: Classical Music gone={}, Mozart isolated={} (paper: both)",
         !db.contains_node(h.classical),
@@ -145,14 +126,9 @@ fn main() {
 
     // ---- Figures 17–19 ---------------------------------------------------------------------
     let (mut vdb, vh) = build_versions_instance();
-    dot("fig17-versions.dot", vdb.to_dot("Figure 17: version chain"));
     for ab in figures::fig18_abstractions() {
         ab.apply(&mut vdb).expect("fig18");
     }
-    dot(
-        "fig19-result.dot",
-        vdb.to_dot("Figure 19: after abstraction"),
-    );
     let same_group = {
         let contains = Label::new("contains");
         let g0: Vec<_> = vdb.sources(vh.documents[0], &contains).collect();
@@ -208,10 +184,6 @@ fn main() {
     // ---- Figures 26–27 -------------------------------------------------------------------------------
     let mut db = db0.clone();
     let (pattern26, _, _) = figures::fig26_pattern();
-    dot(
-        "fig26-pattern.dot",
-        pattern26.to_dot("Figure 26: crossed pattern", db.scheme()),
-    );
     let direct = find_matchings(&pattern26, &db).expect("fig26");
     let via_macro = figures::fig27_expansion()
         .evaluate(&mut db, &mut Env::new())
@@ -249,10 +221,6 @@ fn main() {
 
     // ---- Figures 30–31 -----------------------------------------------------------------------------------
     let results = figures::fig30_query(&db0).expect("fig30");
-    dot(
-        "fig31-rewritten.dot",
-        figures::fig31_pattern(db0.scheme()).to_dot("Figure 31: rewritten query", db0.scheme()),
-    );
     line!(
         "F30-31 inheritance: {} reference(s) to Jazz found, name = {}",
         results.len(),

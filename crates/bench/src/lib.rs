@@ -102,6 +102,78 @@ pub fn chain_instance(length: usize) -> Instance {
     db
 }
 
+/// Every DOT rendering the `repro` binary emits for the paper's
+/// figures, as `(file name, contents)` pairs — the single source of
+/// truth shared by `repro` (which writes them to its out-dir) and the
+/// figure golden tests (which diff them against
+/// `crates/bench/tests/goldens/`).
+pub fn figure_dots() -> Vec<(&'static str, String)> {
+    use good_hypermedia::{build_instance, build_scheme, build_versions_instance, figures};
+
+    let mut dots = Vec::new();
+    let scheme = build_scheme();
+    dots.push((
+        "fig1-scheme.dot",
+        scheme.to_dot("Figure 1: hyper-media scheme"),
+    ));
+
+    let (db0, _) = build_instance();
+    dots.push(("fig2-instance.dot", db0.to_dot("Figures 2-3: instance")));
+
+    let (pattern, _) = figures::fig4_pattern();
+    dots.push((
+        "fig4-pattern.dot",
+        pattern.to_dot("Figure 4: pattern", db0.scheme()),
+    ));
+
+    let mut db = db0.clone();
+    figures::fig6_node_addition().apply(&mut db).expect("fig6");
+    dots.push((
+        "fig7-result.dot",
+        db.to_dot("Figure 7: after node addition"),
+    ));
+
+    let mut db = db0.clone();
+    figures::fig10_edge_addition()
+        .apply(&mut db)
+        .expect("fig10");
+    dots.push((
+        "fig11-result.dot",
+        db.to_dot("Figure 11: after edge addition"),
+    ));
+
+    let mut db = db0.clone();
+    figures::fig14_node_deletion()
+        .apply(&mut db)
+        .expect("fig14");
+    dots.push((
+        "fig15-result.dot",
+        db.to_dot("Figure 15: after node deletion"),
+    ));
+
+    let (mut vdb, _) = build_versions_instance();
+    dots.push(("fig17-versions.dot", vdb.to_dot("Figure 17: version chain")));
+    for ab in figures::fig18_abstractions() {
+        ab.apply(&mut vdb).expect("fig18");
+    }
+    dots.push((
+        "fig19-result.dot",
+        vdb.to_dot("Figure 19: after abstraction"),
+    ));
+
+    let (pattern26, _, _) = figures::fig26_pattern();
+    dots.push((
+        "fig26-pattern.dot",
+        pattern26.to_dot("Figure 26: crossed pattern", db0.scheme()),
+    ));
+
+    dots.push((
+        "fig31-rewritten.dot",
+        figures::fig31_pattern(db0.scheme()).to_dot("Figure 31: rewritten query", db0.scheme()),
+    ));
+    dots
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

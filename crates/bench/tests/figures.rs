@@ -1,0 +1,57 @@
+//! Figure-output golden tests: the DOT renderings of the paper's
+//! reproduced figures (4–31, via [`good_bench::figure_dots`]) must be
+//! byte-identical to the checked-in files under `tests/goldens/`.
+//!
+//! When an intentional rendering change lands, regenerate with
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p good-bench --test figures
+//! ```
+//!
+//! and commit the diff.
+
+use std::path::PathBuf;
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+#[test]
+fn figure_dot_renderings_match_the_checked_in_goldens() {
+    let update = std::env::var_os("UPDATE_GOLDENS").is_some();
+    let dir = goldens_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create goldens dir");
+    }
+    let mut checked = 0usize;
+    for (name, contents) in good_bench::figure_dots() {
+        let path = dir.join(name);
+        if update {
+            std::fs::write(&path, &contents).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+            panic!(
+                "missing golden {name}: {err}\n\
+                 regenerate with UPDATE_GOLDENS=1 cargo test -p good-bench --test figures"
+            )
+        });
+        assert!(
+            golden == contents,
+            "figure rendering {name} drifted from its golden.\n\
+             If the change is intentional, regenerate with\n\
+             UPDATE_GOLDENS=1 cargo test -p good-bench --test figures\n\
+             --- golden ---\n{golden}\n--- current ---\n{contents}"
+        );
+        checked += 1;
+    }
+    if !update {
+        assert_eq!(checked, 10, "expected all 10 figure renderings");
+    }
+}
+
+#[test]
+fn figure_renderings_are_deterministic() {
+    // Goldens are only meaningful if regeneration is byte-stable.
+    assert_eq!(good_bench::figure_dots(), good_bench::figure_dots());
+}

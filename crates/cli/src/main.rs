@@ -5,6 +5,7 @@
 //! good-db                 # interactive REPL
 //! good-db script.gdb      # run commands from a file
 //! good-db -c "class Info; init; insert Info; stats"
+//! good-db serve --sessions 4   # scripted multi-session server run
 //! ```
 //!
 //! Commands are line-oriented; a line whose braces are unbalanced
@@ -120,6 +121,216 @@ fn run_script(session: &mut Session, text: &str) -> Result<String, session::CliE
     Ok(output)
 }
 
+/// Map a [`good_server::ServerError`] to the `serve` mode's exit code.
+/// Each submission failure gets its own code so scripts (and the
+/// integration tests) can tell them apart without parsing stderr:
+/// 2 = unknown session, 3 = submitted after shutdown, 4 = queue-full
+/// backpressure, 1 = store failure / usage error.
+fn serve_exit_code(err: &good_server::ServerError) -> i32 {
+    match err {
+        good_server::ServerError::UnknownSession(_) => 2,
+        good_server::ServerError::Shutdown => 3,
+        good_server::ServerError::QueueFull { .. } => 4,
+        good_server::ServerError::Store(_) => 1,
+    }
+}
+
+/// `good-db serve --sessions N [--programs P] [--seed S]
+/// [--max-batch M] [--queue-capacity Q] [--inject FAILURE]`
+///
+/// Scripted multi-session mode: starts an in-process [`Server`] over
+/// an in-memory journal, races N sessions each submitting P programs
+/// of the deterministic `random_workload`, and prints a per-session
+/// and final summary. `--inject` deterministically provokes one of
+/// the submission error paths (`unknown-session`, `after-shutdown`,
+/// `queue-full`) and exits with its distinct code.
+fn run_serve(args: &[String]) -> i32 {
+    use good_core::gen::{bench_scheme, random_workload};
+    use good_server::{Server, ServerConfig};
+    use good_store::vfs::{FaultPlan, FaultVfs, Vfs};
+    use good_store::Store;
+
+    let mut sessions = 2usize;
+    let mut programs = 4usize;
+    let mut seed = 42u64;
+    let mut max_batch = 8usize;
+    let mut queue_capacity = 256usize;
+    let mut inject: Option<String> = None;
+
+    let mut rest = args.iter();
+    while let Some(flag) = rest.next() {
+        let mut value = |name: &str| match rest.next() {
+            Some(value) => value.clone(),
+            None => {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(1);
+            }
+        };
+        macro_rules! parse {
+            ($target:ident, $name:literal) => {{
+                let raw = value($name);
+                match raw.parse() {
+                    Ok(parsed) => $target = parsed,
+                    Err(_) => {
+                        eprintln!("error: bad value for {}: {raw:?}", $name);
+                        return 1;
+                    }
+                }
+            }};
+        }
+        match flag.as_str() {
+            "--sessions" => parse!(sessions, "--sessions"),
+            "--programs" => parse!(programs, "--programs"),
+            "--seed" => parse!(seed, "--seed"),
+            "--max-batch" => parse!(max_batch, "--max-batch"),
+            "--queue-capacity" => parse!(queue_capacity, "--queue-capacity"),
+            "--inject" => inject = Some(value("--inject")),
+            other => {
+                eprintln!("error: unknown serve flag {other:?}");
+                return 1;
+            }
+        }
+    }
+    if sessions == 0 || max_batch == 0 {
+        eprintln!("error: --sessions and --max-batch must be at least 1");
+        return 1;
+    }
+
+    let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(FaultPlan::reliable(seed)));
+    let store = match Store::create_with_vfs(vfs, "/serve/db.journal", bench_scheme()) {
+        Ok(store) => store,
+        Err(err) => {
+            eprintln!("error: cannot create store: {err}");
+            return 1;
+        }
+    };
+    let server = Server::start(
+        store,
+        ServerConfig {
+            queue_capacity,
+            max_batch,
+        },
+    );
+
+    // Deterministic error-path injection: provoke exactly one
+    // submission failure and exit with its dedicated code.
+    if let Some(failure) = inject.as_deref() {
+        let err = match failure {
+            "unknown-session" => {
+                // Never-opened session id: ids are handed out from 1.
+                server
+                    .submit(u64::MAX, random_workload(seed, 1).remove(0))
+                    .expect_err("submission to an unopened session must fail")
+            }
+            "after-shutdown" => {
+                let session = server.open_session();
+                server.begin_shutdown();
+                server
+                    .submit(session, random_workload(seed, 1).remove(0))
+                    .expect_err("submission after shutdown must fail")
+            }
+            "queue-full" => {
+                let session = server.open_session();
+                // Freeze the writer so the queue genuinely fills, then
+                // overflow it: capacity submissions park, the next one
+                // must bounce with backpressure.
+                server.pause_writer();
+                let workload = random_workload(seed, queue_capacity + 1);
+                let mut overflow = None;
+                for program in workload {
+                    if let Err(err) = server.submit(session, program) {
+                        overflow = Some(err);
+                        break;
+                    }
+                }
+                server.resume_writer();
+                match overflow {
+                    Some(err) => err,
+                    None => {
+                        eprintln!("error: queue never filled at capacity {queue_capacity}");
+                        return 1;
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "error: unknown --inject {other:?} \
+                     (expected unknown-session, after-shutdown or queue-full)"
+                );
+                return 1;
+            }
+        };
+        eprintln!("error: {err}");
+        return serve_exit_code(&err);
+    }
+
+    // The scripted workload: N sessions race their chunk of one
+    // deterministic program stream through the single writer.
+    let workload = random_workload(seed, sessions * programs);
+    let chunks: Vec<Vec<good_core::program::Program>> = workload
+        .chunks(programs.max(1))
+        .map(|chunk| chunk.to_vec())
+        .collect();
+    let results: Vec<Result<(usize, usize), good_server::ServerError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let server = &server;
+                    scope.spawn(move || {
+                        let session = server.open_session();
+                        let (mut committed, mut rejected) = (0usize, 0usize);
+                        for program in chunk {
+                            let ack = server.submit_wait(session, program)?;
+                            match ack.commit_seq {
+                                Some(_) => committed += 1,
+                                None => rejected += 1,
+                            }
+                        }
+                        Ok((committed, rejected))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    let (mut total_committed, mut total_rejected) = (0usize, 0usize);
+    for (index, result) in results.iter().enumerate() {
+        match result {
+            Ok((committed, rejected)) => {
+                println!(
+                    "session {}: {committed} committed, {rejected} rejected",
+                    index + 1
+                );
+                total_committed += committed;
+                total_rejected += rejected;
+            }
+            Err(err) => {
+                eprintln!("error: session {} failed: {err}", index + 1);
+                return serve_exit_code(err);
+            }
+        }
+    }
+    let batches = server.epoch();
+    let snapshot = server.snapshot();
+    println!(
+        "served {total_committed} committed + {total_rejected} rejected programs \
+         from {sessions} sessions in {batches} batches"
+    );
+    println!(
+        "final instance: {} nodes, {} edges",
+        snapshot.instance().node_count(),
+        snapshot.instance().edge_count()
+    );
+    match server.shutdown() {
+        Ok(_) => 0,
+        Err(err) => {
+            eprintln!("error: shutdown failed: {err}");
+            serve_exit_code(&err)
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -228,6 +439,12 @@ fn main() {
             },
         }
         finish(&profiler, 0);
+    }
+
+    // `serve` scripted multi-session mode.
+    if args.first().map(String::as_str) == Some("serve") {
+        let code = run_serve(&args[1..]);
+        finish(&profiler, code);
     }
 
     let mut session = Session::new();

@@ -373,3 +373,69 @@ fn repl_reads_multiline_patterns_from_stdin() {
     assert!(stdout.contains("good-db"), "{stdout}");
     assert!(stdout.contains("1 matching(s)"), "{stdout}");
 }
+
+#[test]
+fn serve_scripted_mode_prints_per_session_and_final_summaries() {
+    let output = binary()
+        .args(["serve", "--sessions", "3", "--programs", "5", "--seed", "9"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("session 1:"), "{stdout}");
+    assert!(stdout.contains("session 3:"), "{stdout}");
+    assert!(stdout.contains("from 3 sessions"), "{stdout}");
+    assert!(stdout.contains("final instance:"), "{stdout}");
+}
+
+#[test]
+fn serve_unknown_session_exits_2_with_its_own_message() {
+    let output = binary()
+        .args(["serve", "--inject", "unknown-session"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown session id"), "{stderr}");
+}
+
+#[test]
+fn serve_submission_after_shutdown_exits_3_with_its_own_message() {
+    let output = binary()
+        .args(["serve", "--inject", "after-shutdown"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(3), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("shut down"), "{stderr}");
+}
+
+#[test]
+fn serve_queue_full_backpressure_exits_4_and_names_the_capacity() {
+    let output = binary()
+        .args(["serve", "--inject", "queue-full", "--queue-capacity", "4"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(4), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("queue full"), "{stderr}");
+    assert!(stderr.contains("capacity 4"), "{stderr}");
+}
+
+#[test]
+fn serve_rejects_unknown_flags_and_injections() {
+    let output = binary()
+        .args(["serve", "--bogus"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown serve flag"), "{stderr}");
+    let output = binary()
+        .args(["serve", "--inject", "meteor-strike"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown --inject"), "{stderr}");
+}

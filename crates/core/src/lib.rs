@@ -47,6 +47,7 @@ pub mod pattern;
 pub mod program;
 pub mod rules;
 pub mod scheme;
+pub mod snapshot;
 pub mod textual;
 pub mod value;
 
@@ -65,6 +66,7 @@ pub mod prelude {
     pub use crate::program::{Env, Operation, Program};
     pub use crate::rules::{Rule, RuleSet};
     pub use crate::scheme::{Scheme, SchemeBuilder};
+    pub use crate::snapshot::{Snapshot, SnapshotCell};
     pub use crate::textual::{format_pattern, parse_pattern};
     pub use crate::value::{Date, Value, ValueType};
 }

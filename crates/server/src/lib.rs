@@ -1,0 +1,465 @@
+//! `good-server` — a multi-session concurrency layer over the GOOD
+//! engine: snapshot-isolated reads, single-writer group-commit writes.
+//!
+//! GOOD's operational semantics make concurrency unusually tractable:
+//! every program is a deterministic graph transformation of a fixed
+//! instance (PAPER.md §3), and pattern matching is a pure read-only
+//! function of that instance. The server exploits both facts:
+//!
+//! * **Reads are snapshot-isolated and lock-free.** The committed
+//!   instance is published through a [`SnapshotCell`]
+//!   (`good_core::snapshot`): acquiring a [`Snapshot`] costs one short
+//!   mutex lock plus one `Arc::clone`, and from then on matching,
+//!   `explain`, DOT rendering, and browsing run against a frozen
+//!   immutable graph that no writer can perturb.
+//! * **Writes are serialized through one writer thread with
+//!   group-commit.** Sessions enqueue programs onto a bounded queue;
+//!   the writer drains up to a batch at a time, applies the batch
+//!   through [`Store::execute_group`] (one journal record group, one
+//!   fsync for the whole batch), publishes the next snapshot, and acks
+//!   every session in the batch with its global **commit sequence
+//!   number**. The resulting history is trivially serializable — it
+//!   *is* the serial order reported in the acks.
+//!
+//! Failure semantics mirror the store's: a program that fails
+//! model-level validation is acked with its error and journals
+//! nothing (its batch neighbours commit normally), while a journal
+//! I/O failure poisons the store, fails the whole batch and every
+//! queued request, and leaves the server refusing further writes —
+//! committed snapshots stay readable throughout.
+//!
+//! Observability: `server/enqueue`, `server/batch`, and
+//! `server/publish` spans, a `server/queue_depth` gauge, and a
+//! `server/batch_size` histogram (via the trace crate's u64 histogram
+//! entry point) feed the existing `good-trace` layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use good_core::error::GoodError;
+use good_core::ops::OpReport;
+use good_core::program::Program;
+use good_core::snapshot::{Snapshot, SnapshotCell};
+use good_store::Store;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Identifies one open session.
+pub type SessionId = u64;
+
+/// Identifies one submitted program; redeemed exactly once via
+/// [`Server::wait`].
+pub type Ticket = u64;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum number of queued (unprocessed) programs before
+    /// [`ServerError::QueueFull`] backpressure kicks in.
+    pub queue_capacity: usize,
+    /// Maximum number of programs the writer commits as one group.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 256,
+            max_batch: 32,
+        }
+    }
+}
+
+/// Submission-level failures. Per-program *model* failures are not
+/// errors at this level: they ride inside [`Ack::outcome`] so that one
+/// bad program cannot break its batch neighbours.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The session id was never opened, or has been closed.
+    UnknownSession(
+        /// The offending id.
+        SessionId,
+    ),
+    /// The server is shutting down (or has shut down); no new programs
+    /// are accepted.
+    Shutdown,
+    /// The submission queue is at capacity — backpressure; retry after
+    /// the writer drains.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The underlying store failed (journal I/O / poisoning); the
+    /// server refuses further writes until restarted.
+    Store(
+        /// The store's failure message.
+        String,
+    ),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownSession(id) => write!(f, "unknown session id {id}"),
+            ServerError::Shutdown => write!(f, "server is shut down"),
+            ServerError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServerError::Store(reason) => write!(f, "store failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// The writer's acknowledgement for one submitted program.
+#[derive(Debug, Clone)]
+pub struct Ack {
+    /// The submitting session.
+    pub session: SessionId,
+    /// Global commit sequence number — the program's position in the
+    /// server's serial history. `Some` iff the program committed;
+    /// model-rejected programs get `None` (they are not part of the
+    /// history).
+    pub commit_seq: Option<u64>,
+    /// The snapshot epoch published by the batch that processed this
+    /// program.
+    pub epoch: u64,
+    /// What the program did, or why the model rejected it.
+    pub outcome: Result<OpReport, GoodError>,
+}
+
+struct Request {
+    ticket: Ticket,
+    session: SessionId,
+    program: Program,
+}
+
+struct State {
+    queue: VecDeque<Request>,
+    sessions: HashSet<SessionId>,
+    next_session: SessionId,
+    next_ticket: Ticket,
+    completions: HashMap<Ticket, Result<Ack, String>>,
+    shutdown: bool,
+    paused: bool,
+    failed: Option<String>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the writer: work arrived, pause lifted, or shutdown.
+    work: Condvar,
+    /// Wakes waiters: completions were posted.
+    done: Condvar,
+    cell: SnapshotCell,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("server state poisoned")
+    }
+
+    fn submit(&self, session: SessionId, program: Program) -> Result<Ticket, ServerError> {
+        let mut span = good_trace::span("server", "server/enqueue");
+        let mut state = self.lock();
+        if let Some(reason) = &state.failed {
+            return Err(ServerError::Store(reason.clone()));
+        }
+        if state.shutdown {
+            return Err(ServerError::Shutdown);
+        }
+        if !state.sessions.contains(&session) {
+            return Err(ServerError::UnknownSession(session));
+        }
+        if state.queue.len() >= self.config.queue_capacity {
+            good_trace::counter_add("server/queue_full", 1);
+            return Err(ServerError::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(Request {
+            ticket,
+            session,
+            program,
+        });
+        let depth = state.queue.len();
+        good_trace::gauge_set("server/queue_depth", depth as i64);
+        span.arg("session", session);
+        span.arg("depth", depth);
+        drop(state);
+        self.work.notify_one();
+        Ok(ticket)
+    }
+
+    fn wait(&self, ticket: Ticket) -> Result<Ack, ServerError> {
+        let mut state = self.lock();
+        assert!(
+            ticket < state.next_ticket,
+            "ticket {ticket} was never issued"
+        );
+        loop {
+            if let Some(result) = state.completions.remove(&ticket) {
+                return result.map_err(ServerError::Store);
+            }
+            state = self.done.wait(state).expect("server state poisoned");
+        }
+    }
+}
+
+/// The concurrency layer: one writer thread, any number of sessions
+/// and snapshot readers.
+///
+/// ```
+/// use good_core::program::Program;
+/// use good_core::scheme::SchemeBuilder;
+/// use good_server::{Server, ServerConfig};
+/// use good_store::Store;
+/// use good_store::vfs::{FaultPlan, FaultVfs};
+/// use std::sync::Arc;
+///
+/// let vfs = Arc::new(FaultVfs::new(FaultPlan::reliable(1)));
+/// let scheme = SchemeBuilder::new().object("Info").build();
+/// let store = Store::create_with_vfs(vfs, "/db.journal", scheme).unwrap();
+/// let server = Server::start(store, ServerConfig::default());
+/// let session = server.open_session();
+/// let snapshot = server.snapshot();
+/// let ack = server
+///     .submit_wait(session, Program::from_ops(Vec::new()))
+///     .unwrap();
+/// assert_eq!(ack.commit_seq, Some(1));
+/// // The pre-submit snapshot still reads epoch 0.
+/// assert_eq!(snapshot.epoch, 0);
+/// server.shutdown().unwrap();
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    writer: Mutex<Option<JoinHandle<Store>>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.shared.lock();
+        f.debug_struct("Server")
+            .field("sessions", &state.sessions.len())
+            .field("queued", &state.queue.len())
+            .field("shutdown", &state.shutdown)
+            .field("failed", &state.failed)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Start the server over `store`: spawns the writer thread and
+    /// publishes the store's committed instance as snapshot epoch 0.
+    pub fn start(store: Store, config: ServerConfig) -> Server {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                sessions: HashSet::new(),
+                next_session: 1,
+                next_ticket: 1,
+                completions: HashMap::new(),
+                shutdown: false,
+                paused: false,
+                failed: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            cell: SnapshotCell::new(store.instance().clone()),
+            config,
+        });
+        let writer_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("good-server-writer".into())
+            .spawn(move || writer_loop(writer_shared, store))
+            .expect("spawn writer thread");
+        Server {
+            shared,
+            writer: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Open a new session and return its id.
+    pub fn open_session(&self) -> SessionId {
+        let mut state = self.shared.lock();
+        let id = state.next_session;
+        state.next_session += 1;
+        state.sessions.insert(id);
+        good_trace::counter_add("server/sessions_opened", 1);
+        id
+    }
+
+    /// Close a session; later submissions under its id are rejected
+    /// with [`ServerError::UnknownSession`]. In-flight programs it
+    /// already enqueued still commit.
+    pub fn close_session(&self, session: SessionId) -> Result<(), ServerError> {
+        let mut state = self.shared.lock();
+        if state.sessions.remove(&session) {
+            Ok(())
+        } else {
+            Err(ServerError::UnknownSession(session))
+        }
+    }
+
+    /// Acquire the current committed snapshot (lock-free reads from
+    /// then on; see [`SnapshotCell`]).
+    pub fn snapshot(&self) -> Snapshot {
+        self.shared.cell.load()
+    }
+
+    /// The current snapshot epoch — one publish per committed batch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// Enqueue `program` for `session`. Returns a ticket redeemable
+    /// exactly once via [`Server::wait`].
+    pub fn submit(&self, session: SessionId, program: Program) -> Result<Ticket, ServerError> {
+        self.shared.submit(session, program)
+    }
+
+    /// Block until the writer acks `ticket`. Each ticket may be waited
+    /// on exactly once.
+    pub fn wait(&self, ticket: Ticket) -> Result<Ack, ServerError> {
+        self.shared.wait(ticket)
+    }
+
+    /// [`Server::submit`] + [`Server::wait`] in one call.
+    pub fn submit_wait(&self, session: SessionId, program: Program) -> Result<Ack, ServerError> {
+        let ticket = self.submit(session, program)?;
+        self.wait(ticket)
+    }
+
+    /// Test support: hold the writer idle so submissions accumulate in
+    /// the queue (deterministic batch formation and queue-full tests).
+    pub fn pause_writer(&self) {
+        self.shared.lock().paused = true;
+    }
+
+    /// Lift a [`Server::pause_writer`] hold.
+    pub fn resume_writer(&self) {
+        self.shared.lock().paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Stop accepting new programs without waiting for the writer:
+    /// later submissions fail with [`ServerError::Shutdown`], while
+    /// everything already queued still drains and acks. Call
+    /// [`Server::shutdown`] afterwards to join the writer.
+    pub fn begin_shutdown(&self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work.notify_all();
+    }
+
+    /// Shut down: stop accepting new programs, let the writer drain
+    /// everything already queued, join it, and hand back the store.
+    pub fn shutdown(self) -> Result<Store, ServerError> {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&self) -> Result<Store, ServerError> {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        let handle = self
+            .writer
+            .lock()
+            .expect("writer handle poisoned")
+            .take()
+            .ok_or(ServerError::Shutdown)?;
+        handle
+            .join()
+            .map_err(|_| ServerError::Store("writer thread panicked".into()))
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown_impl();
+    }
+}
+
+fn writer_loop(shared: Arc<Shared>, mut store: Store) -> Store {
+    let mut commit_seq: u64 = 0;
+    loop {
+        let batch: Vec<Request> = {
+            let mut state = shared.lock();
+            loop {
+                // Shutdown overrides pause: queued work always drains
+                // before the writer exits.
+                let runnable = !state.queue.is_empty() && (!state.paused || state.shutdown);
+                if runnable && state.failed.is_none() {
+                    break;
+                }
+                if state.shutdown {
+                    return store;
+                }
+                state = shared.work.wait(state).expect("server state poisoned");
+            }
+            let take = state.queue.len().min(shared.config.max_batch);
+            let batch: Vec<Request> = state.queue.drain(..take).collect();
+            good_trace::gauge_set("server/queue_depth", state.queue.len() as i64);
+            batch
+        };
+        let mut batch_span = good_trace::span("server", "server/batch");
+        batch_span.arg("programs", batch.len());
+        // The trace histogram entry point is u64-valued; batch size
+        // reuses it as a plain count histogram.
+        good_trace::observe_ns("server/batch_size", batch.len() as u64);
+        let programs: Vec<Program> = batch.iter().map(|req| req.program.clone()).collect();
+        match store.execute_group(&programs) {
+            Ok(outcomes) => {
+                let epoch = {
+                    let _publish_span = good_trace::span("server", "server/publish");
+                    shared.cell.publish(store.instance().clone())
+                };
+                batch_span.arg("epoch", epoch);
+                let mut state = shared.lock();
+                for (req, outcome) in batch.into_iter().zip(outcomes) {
+                    let seq = outcome.is_ok().then(|| {
+                        commit_seq += 1;
+                        commit_seq
+                    });
+                    state.completions.insert(
+                        req.ticket,
+                        Ok(Ack {
+                            session: req.session,
+                            commit_seq: seq,
+                            epoch,
+                            outcome,
+                        }),
+                    );
+                }
+                drop(state);
+                shared.done.notify_all();
+            }
+            Err(err) => {
+                // Journal I/O failure: the store is poisoned, nothing
+                // in this batch (or behind it) can commit. Fail them
+                // all and refuse further writes; committed snapshots
+                // stay readable.
+                let reason = err.to_string();
+                batch_span.arg("failed", reason.clone());
+                let mut state = shared.lock();
+                state.failed = Some(reason.clone());
+                for req in batch {
+                    state.completions.insert(req.ticket, Err(reason.clone()));
+                }
+                while let Some(req) = state.queue.pop_front() {
+                    state.completions.insert(req.ticket, Err(reason.clone()));
+                }
+                good_trace::gauge_set("server/queue_depth", 0);
+                drop(state);
+                shared.done.notify_all();
+            }
+        }
+    }
+}

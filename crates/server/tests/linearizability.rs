@@ -1,0 +1,157 @@
+//! Linearizability differential proptest.
+//!
+//! K sessions race `random_workload` programs through the server.
+//! Because GOOD programs are deterministic graph transformations, the
+//! server's history is linearizable iff its final instance equals the
+//! result of applying the committed programs serially via plain
+//! [`Program::apply`] in the server-reported commit order — and that
+//! order must respect each session's submission order (real-time order
+//! within a session). Both are checked for every random case.
+//!
+//! 256 cases run in tier-1; the 10k-case variant is `#[ignore]`d and
+//! runs in the nightly CI cron (`cargo test --workspace --release --
+//! --ignored`).
+
+use good_core::gen::{bench_scheme, random_workload};
+use good_core::instance::Instance;
+use good_core::program::{Env, Program, DEFAULT_FUEL};
+use good_server::{Server, ServerConfig};
+use good_store::vfs::{FaultPlan, FaultVfs, Vfs};
+use good_store::Store;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One session's view of its run: commit sequence numbers in
+/// submission order (None = model-rejected), paired with the programs.
+struct SessionRun {
+    committed: Vec<(u64, Program)>,
+    seqs_in_submission_order: Vec<Option<u64>>,
+}
+
+fn run_case(seed: u64, sessions: usize, per_session: usize, max_batch: usize) {
+    let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(FaultPlan::reliable(seed)));
+    let store =
+        Store::create_with_vfs(vfs, "/linz/db.journal", bench_scheme()).expect("create store");
+    let server = Server::start(
+        store,
+        ServerConfig {
+            queue_capacity: sessions * per_session + 1,
+            max_batch,
+        },
+    );
+    let programs = random_workload(seed, sessions * per_session);
+    let chunks: Vec<Vec<Program>> = programs
+        .chunks(per_session)
+        .map(|chunk| chunk.to_vec())
+        .collect();
+
+    let runs: Vec<SessionRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let server = &server;
+                scope.spawn(move || {
+                    let session = server.open_session();
+                    let mut committed = Vec::new();
+                    let mut seqs = Vec::new();
+                    for program in chunk {
+                        let ack = server
+                            .submit_wait(session, program.clone())
+                            .expect("reliable vfs: submission cannot fail");
+                        seqs.push(ack.commit_seq);
+                        if let Some(seq) = ack.commit_seq {
+                            committed.push((seq, program));
+                        }
+                    }
+                    SessionRun {
+                        committed,
+                        seqs_in_submission_order: seqs,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let final_snapshot = server.snapshot();
+    let store = server.shutdown().expect("clean shutdown");
+    assert!(
+        final_snapshot.instance().isomorphic_to(store.instance()),
+        "published snapshot must be the store's committed state"
+    );
+
+    // Real-time order within a session: commit sequence numbers must
+    // be strictly increasing in submission order.
+    for run in &runs {
+        let seqs: Vec<u64> = run
+            .seqs_in_submission_order
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "session's commits out of submission order: {seqs:?}"
+        );
+    }
+
+    // The serial witness: every committed program, ordered by the
+    // server's reported commit sequence, applied with plain
+    // Program::apply to a fresh instance.
+    let mut history: Vec<(u64, Program)> = runs.into_iter().flat_map(|run| run.committed).collect();
+    history.sort_by_key(|(seq, _)| *seq);
+    let seqs: Vec<u64> = history.iter().map(|(seq, _)| *seq).collect();
+    assert_eq!(
+        seqs,
+        (1..=seqs.len() as u64).collect::<Vec<u64>>(),
+        "commit sequence must be dense and unique"
+    );
+    let mut serial = Instance::new(bench_scheme());
+    let mut env = Env::with_fuel(DEFAULT_FUEL);
+    for (seq, program) in &history {
+        env.refuel();
+        program
+            .apply(&mut serial, &mut env)
+            .unwrap_or_else(|err| panic!("serial replay diverged at commit {seq}: {err}"));
+    }
+    assert!(
+        final_snapshot.instance().isomorphic_to(&serial),
+        "server result is not the serial order it reported \
+         (seed {seed}, {sessions} sessions × {per_session})"
+    );
+}
+
+#[test]
+fn smoke_two_sessions_interleave_linearizably() {
+    run_case(7, 2, 6, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_interleavings_are_linearizable(
+        seed in 0u64..1_000_000,
+        sessions in 2usize..5,
+        per_session in 2usize..6,
+        max_batch in 1usize..9,
+    ) {
+        run_case(seed, sessions, per_session, max_batch);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    // Nightly-only: the 10k-case sweep (see .github/workflows/ci.yml).
+    #[test]
+    #[ignore = "nightly: 10k-case linearizability sweep"]
+    fn nightly_random_interleavings_are_linearizable(
+        seed in 0u64..100_000_000,
+        sessions in 2usize..6,
+        per_session in 2usize..8,
+        max_batch in 1usize..17,
+    ) {
+        run_case(seed, sessions, per_session, max_batch);
+    }
+}

@@ -12,7 +12,15 @@
 //!   treated as torn (on real disks a crashed multi-sector write can
 //!   persist the trailing sector without the leading one);
 //! * a parse failure anywhere *earlier* is corruption, reported with
-//!   its 1-based line number — never silently truncated.
+//!   its 1-based line number — never silently truncated;
+//! * a **group commit** is a run of [`LogRecord::BatchApply`] records
+//!   closed by one [`LogRecord::BatchCommit`] carrying the run length.
+//!   The whole group becomes visible atomically: a scan that reaches
+//!   end-of-journal (or a torn tail) with an unclosed group discards
+//!   the *entire* group and truncates back to the byte before its
+//!   first record — recovery always lands on a batch boundary, never
+//!   mid-batch. A batch record interleaved with non-batch records, or
+//!   a commit whose count disagrees with the run, is corruption.
 
 use crate::vfs::VfsFile;
 use crate::{Result, StoreError};
@@ -31,6 +39,17 @@ pub enum LogRecord {
     RegisterMethod(Box<Method>),
     /// An applied program.
     Apply(Program),
+    /// One program of a group commit. Not replayable on its own: it
+    /// only takes effect when the group's [`LogRecord::BatchCommit`]
+    /// is durable too.
+    BatchApply(Program),
+    /// The commit marker closing a group of `count` preceding
+    /// [`LogRecord::BatchApply`] records. The group-commit writer
+    /// fsyncs once, here, for the whole group.
+    BatchCommit {
+        /// Number of `BatchApply` records in the group.
+        count: usize,
+    },
 }
 
 /// The outcome of scanning a journal byte-for-byte.
@@ -45,13 +64,23 @@ pub(crate) struct JournalScan {
     pub intact_len: u64,
 }
 
-/// Scan raw journal bytes into records, detecting a torn tail.
+/// Scan raw journal bytes into records, detecting a torn tail and
+/// discarding any trailing uncommitted group (see the module docs).
+///
+/// `intact_len` only advances when a *committed unit* completes — a
+/// self-committing record, or a batch group closed by its commit
+/// marker — so a crash anywhere inside a group truncates the whole
+/// group: recovery is all-or-nothing per batch.
 pub(crate) fn scan(bytes: &[u8]) -> Result<JournalScan> {
     let mut records = Vec::new();
     let mut torn_tail = false;
     let mut intact_len = 0u64;
     let mut offset = 0usize;
     let mut line = 0usize;
+    // BatchApply records of the currently open (not yet committed)
+    // group. While non-empty, `intact_len` is pinned at the byte before
+    // the group's first record.
+    let mut pending: Vec<(usize, LogRecord)> = Vec::new();
     while offset < bytes.len() {
         line += 1;
         let (segment, segment_end, terminated) =
@@ -62,9 +91,13 @@ pub(crate) fn scan(bytes: &[u8]) -> Result<JournalScan> {
         let is_final = segment_end == bytes.len();
         if segment.iter().all(u8::is_ascii_whitespace) {
             // Blank lines are tolerated but an unterminated whitespace
-            // tail is still torn debris to truncate.
+            // tail is still torn debris to truncate, and a blank line
+            // inside an open group must not move the truncation point
+            // past the group's start.
             if terminated {
-                intact_len = segment_end as u64;
+                if pending.is_empty() {
+                    intact_len = segment_end as u64;
+                }
             } else {
                 torn_tail = true;
             }
@@ -81,7 +114,33 @@ pub(crate) fn scan(bytes: &[u8]) -> Result<JournalScan> {
                 serde_json::from_str::<LogRecord>(text).map_err(|err| err.to_string())
             });
         match parsed {
+            Ok(LogRecord::BatchApply(program)) => {
+                pending.push((line, LogRecord::BatchApply(program)));
+            }
+            Ok(LogRecord::BatchCommit { count }) => {
+                if count != pending.len() {
+                    return Err(StoreError::Corrupt {
+                        line,
+                        message: format!(
+                            "batch commit expects {count} records, group has {}",
+                            pending.len()
+                        ),
+                    });
+                }
+                records.append(&mut pending);
+                records.push((line, LogRecord::BatchCommit { count }));
+                intact_len = segment_end as u64;
+            }
             Ok(record) => {
+                if !pending.is_empty() {
+                    // Prefix-only tearing cannot interleave a
+                    // self-committing record into an open group; this
+                    // is a writer bug or external tampering.
+                    return Err(StoreError::Corrupt {
+                        line,
+                        message: "non-batch record inside an uncommitted group".into(),
+                    });
+                }
                 records.push((line, record));
                 intact_len = segment_end as u64;
             }
@@ -98,6 +157,12 @@ pub(crate) fn scan(bytes: &[u8]) -> Result<JournalScan> {
         }
         offset = segment_end;
     }
+    if !pending.is_empty() {
+        // The journal ends inside a group: the commit marker never
+        // became durable, so the whole group is discarded (a torn
+        // tail back to the group's first byte).
+        torn_tail = true;
+    }
     Ok(JournalScan {
         records,
         torn_tail,
@@ -105,11 +170,12 @@ pub(crate) fn scan(bytes: &[u8]) -> Result<JournalScan> {
     })
 }
 
-/// Serialize `record` as one newline-terminated JSON line, append it,
-/// and fdatasync. A serialization failure happens before any byte
-/// reaches the file; an I/O failure may leave a torn or un-durable
-/// record behind (the caller decides whether to poison).
-pub(crate) fn append_record(file: &mut dyn VfsFile, record: &LogRecord) -> Result<()> {
+/// Serialize `record` as one newline-terminated JSON line and append
+/// it **without syncing** — the group-commit building block. A
+/// serialization failure happens before any byte reaches the file; an
+/// I/O failure may leave a torn record behind (the caller decides
+/// whether to poison).
+pub(crate) fn write_record(file: &mut dyn VfsFile, record: &LogRecord) -> Result<()> {
     let mut line = serde_json::to_string(record).map_err(|err| StoreError::Corrupt {
         line: 0,
         message: err.to_string(),
@@ -118,11 +184,21 @@ pub(crate) fn append_record(file: &mut dyn VfsFile, record: &LogRecord) -> Resul
     let mut append_span = good_trace::span("store", "store/append");
     append_span.arg("bytes", line.len());
     file.append(line.as_bytes())?;
-    {
-        let _fsync_span = good_trace::span("store", "store/fsync");
-        file.sync_data()?;
-    }
     Ok(())
+}
+
+/// fdatasync the journal file — one call per committed unit, however
+/// many records it spans.
+pub(crate) fn sync_file(file: &mut dyn VfsFile) -> Result<()> {
+    let _fsync_span = good_trace::span("store", "store/fsync");
+    file.sync_data()?;
+    Ok(())
+}
+
+/// Append one self-committing record: [`write_record`] + [`sync_file`].
+pub(crate) fn append_record(file: &mut dyn VfsFile, record: &LogRecord) -> Result<()> {
+    write_record(file, record)?;
+    sync_file(file)
 }
 
 #[cfg(test)]
@@ -200,6 +276,94 @@ mod tests {
         text.push_str(&snapshot_line());
         match scan(text.as_bytes()) {
             Err(StoreError::Corrupt { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    fn record_line(record: &LogRecord) -> String {
+        let mut line = serde_json::to_string(record).expect("serialize");
+        line.push('\n');
+        line
+    }
+
+    fn batch_apply_line() -> String {
+        record_line(&LogRecord::BatchApply(Program::from_ops(Vec::new())))
+    }
+
+    #[test]
+    fn committed_group_scans_fully() {
+        let mut text = snapshot_line();
+        text.push_str(&batch_apply_line());
+        text.push_str(&batch_apply_line());
+        text.push_str(&record_line(&LogRecord::BatchCommit { count: 2 }));
+        let scan = scan(text.as_bytes()).unwrap();
+        assert_eq!(scan.records.len(), 4);
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.intact_len, text.len() as u64);
+    }
+
+    #[test]
+    fn unclosed_group_is_discarded_back_to_its_start() {
+        let mut text = snapshot_line();
+        let group_start = text.len();
+        text.push_str(&batch_apply_line());
+        text.push_str(&batch_apply_line());
+        // Crash before the commit marker: every line is intact and
+        // terminated, but the group never committed.
+        let scan = scan(text.as_bytes()).unwrap();
+        assert_eq!(scan.records.len(), 1, "no batch record may replay");
+        assert!(scan.torn_tail);
+        assert_eq!(scan.intact_len, group_start as u64);
+    }
+
+    #[test]
+    fn torn_commit_marker_discards_the_whole_group() {
+        let mut text = snapshot_line();
+        let group_start = text.len();
+        text.push_str(&batch_apply_line());
+        text.push_str("{\"BatchCommit\":{\"cou");
+        let scan = scan(text.as_bytes()).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn_tail);
+        assert_eq!(scan.intact_len, group_start as u64);
+    }
+
+    #[test]
+    fn blank_line_inside_group_does_not_advance_intact_len() {
+        let mut text = snapshot_line();
+        let group_start = text.len();
+        text.push_str(&batch_apply_line());
+        text.push('\n');
+        let scan = scan(text.as_bytes()).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.intact_len, group_start as u64);
+    }
+
+    #[test]
+    fn commit_count_mismatch_is_corruption() {
+        let mut text = snapshot_line();
+        text.push_str(&batch_apply_line());
+        text.push_str(&record_line(&LogRecord::BatchCommit { count: 2 }));
+        text.push_str(&snapshot_line());
+        match scan(text.as_bytes()) {
+            Err(StoreError::Corrupt { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_batch_record_inside_group_is_corruption() {
+        let mut text = snapshot_line();
+        text.push_str(&batch_apply_line());
+        text.push_str(&record_line(&LogRecord::Apply(Program::from_ops(
+            Vec::new(),
+        ))));
+        text.push_str(&record_line(&LogRecord::BatchCommit { count: 1 }));
+        match scan(text.as_bytes()) {
+            Err(StoreError::Corrupt { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("uncommitted group"), "{message}");
+            }
             other => panic!("expected corruption, got {other:?}"),
         }
     }

@@ -6,7 +6,9 @@
 //!
 //! * a **journal** file of JSON-line records — a leading
 //!   [`LogRecord::Snapshot`] followed by [`LogRecord::Apply`] /
-//!   [`LogRecord::RegisterMethod`] entries;
+//!   [`LogRecord::RegisterMethod`] entries and group-commit batches
+//!   ([`LogRecord::BatchApply`]* closed by one
+//!   [`LogRecord::BatchCommit`], fsynced once per group);
 //! * **atomic execution**: a program is applied to a clone first; only
 //!   on success is the record appended (and fsynced) and the clone
 //!   committed — a failing program can neither corrupt the in-memory
@@ -213,12 +215,20 @@ impl Store {
                     env.register((*method).clone());
                     methods.push(*method);
                 }
-                LogRecord::Apply(program) => {
+                LogRecord::Apply(program) | LogRecord::BatchApply(program) => {
+                    // The scanner only surfaces BatchApply records from
+                    // *committed* groups, so replay treats them exactly
+                    // like self-committing applies.
                     let Some(db) = db.as_mut() else {
                         return Err(StoreError::MissingSnapshot);
                     };
                     env.refuel();
                     program.apply(db, &mut env)?;
+                }
+                LogRecord::BatchCommit { .. } => {
+                    if db.is_none() {
+                        return Err(StoreError::MissingSnapshot);
+                    }
                 }
             }
             records += 1;
@@ -331,6 +341,82 @@ impl Store {
         self.records += 1;
         execute_span.arg("matchings", report.matchings);
         Ok(report)
+    }
+
+    /// Execute a batch of programs as **one group commit**: every
+    /// successful program's record is appended, a commit marker closes
+    /// the group, and a single fsync makes the whole batch durable at
+    /// once — the journaling cost of one `execute` amortized over the
+    /// batch.
+    ///
+    /// Per-program failures are isolated, not batch-aborting: a failing
+    /// program contributes an `Err` outcome, writes nothing to the
+    /// journal, and leaves the effects of its successful neighbours
+    /// intact (each program applies to a scratch clone that is merged
+    /// only on success). Durability is all-or-nothing per batch: a
+    /// crash before the commit marker is durable recovers to the state
+    /// *before* the batch, never in the middle of it.
+    ///
+    /// A batch with zero successful programs performs no I/O; a batch
+    /// with exactly one is journaled as a plain self-committing
+    /// [`LogRecord::Apply`] (same durability, smaller journal).
+    pub fn execute_group(
+        &mut self,
+        programs: &[Program],
+    ) -> Result<Vec<std::result::Result<OpReport, GoodError>>> {
+        self.check_poisoned()?;
+        let mut group_span = good_trace::span("store", "store/execute_group");
+        group_span.arg("programs", programs.len());
+        let mut working = self.db.clone();
+        let mut outcomes = Vec::with_capacity(programs.len());
+        let mut committed: Vec<&Program> = Vec::new();
+        for program in programs {
+            self.env.refuel();
+            let mut scratch = working.clone();
+            match program.apply(&mut scratch, &mut self.env) {
+                Ok(report) => {
+                    working = scratch;
+                    committed.push(program);
+                    outcomes.push(Ok(report));
+                }
+                Err(err) => outcomes.push(Err(err)),
+            }
+        }
+        group_span.arg("committed", committed.len());
+        match committed.len() {
+            0 => return Ok(outcomes),
+            1 => {
+                self.append_durably(&LogRecord::Apply(committed[0].clone()))?;
+                self.records += 1;
+            }
+            n => {
+                let result = Self::write_group(self.file.as_mut(), &committed);
+                if let Err(err) = result {
+                    if let StoreError::Io(io_err) = &err {
+                        self.poisoned = Some(format!("group append failed: {io_err}"));
+                    }
+                    return Err(err);
+                }
+                self.records += n + 1;
+            }
+        }
+        self.db = working;
+        Ok(outcomes)
+    }
+
+    /// Append a committed group: `BatchApply`* + `BatchCommit`, then
+    /// one fsync for the lot.
+    fn write_group(file: &mut dyn VfsFile, programs: &[&Program]) -> Result<()> {
+        for program in programs {
+            journal::write_record(file, &LogRecord::BatchApply((*program).clone()))?;
+        }
+        journal::write_record(
+            file,
+            &LogRecord::BatchCommit {
+                count: programs.len(),
+            },
+        )?;
+        journal::sync_file(file)
     }
 
     /// Run a read-only pattern query.

@@ -196,18 +196,27 @@ struct RunOutcome {
     attempted: usize,
 }
 
+fn failure_with_seed(
+    seed: u64,
+    crash_at: Option<u64>,
+    message: String,
+    vfs: &FaultVfs,
+) -> TortureFailure {
+    TortureFailure {
+        seed,
+        crash_at,
+        message,
+        fault_log: vfs.fault_log(),
+    }
+}
+
 fn failure(
     config: &TortureConfig,
     crash_at: Option<u64>,
     message: String,
     vfs: &FaultVfs,
 ) -> TortureFailure {
-    TortureFailure {
-        seed: config.seed,
-        crash_at,
-        message,
-        fault_log: vfs.fault_log(),
-    }
+    failure_with_seed(config.seed, crash_at, message, vfs)
 }
 
 /// Drive the deterministic workload against `vfs` until completion or
@@ -338,20 +347,26 @@ fn golden_run(config: &TortureConfig) -> TortureResult<(Vec<Instance>, u64)> {
     Ok((history, vfs.op_count()))
 }
 
-/// Run one crash schedule and verify prefix-consistent recovery.
-fn run_crash_schedule(
-    config: &TortureConfig,
-    history: &[Instance],
+/// Shared post-crash verification: reboot the frozen disk, reopen the
+/// journal, and check prefix consistency — the recovered instance must
+/// match `history[j]` for some `j` in `[acked, attempted]` (for the
+/// plain sweep the history is per-program; for the group sweep it is
+/// per-*batch*, so matching any entry **is** the batch-boundary
+/// invariant). Then prove the recovered journal accepts a probe append
+/// that survives one more reopen.
+fn verify_prefix_recovery(
+    seed: u64,
     crash_at: u64,
+    history: &[Instance],
+    outcome: &RunOutcome,
+    vfs: &FaultVfs,
 ) -> TortureResult<ScheduleOutcome> {
-    let vfs = FaultVfs::new(FaultPlan::crash_at(config.seed, crash_at));
-    let outcome = run_workload(&vfs, config, None)?;
     if !vfs.crashed() {
-        return Err(failure(
-            config,
+        return Err(failure_with_seed(
+            seed,
             Some(crash_at),
             format!("crash point {crash_at} never fired"),
-            &vfs,
+            vfs,
         ));
     }
     let disk = vfs.reboot();
@@ -372,22 +387,22 @@ fn run_crash_schedule(
             });
         }
         Err(err) => {
-            return Err(failure(
-                config,
+            return Err(failure_with_seed(
+                seed,
                 Some(crash_at),
                 format!(
-                    "recovery failed after crash (acked {} programs): {err}",
+                    "recovery failed after crash (acked {}): {err}",
                     outcome.acked
                 ),
-                &vfs,
+                vfs,
             ));
         }
     };
     let recovered_to =
         (outcome.acked..=outcome.attempted).find(|&j| store.instance().isomorphic_to(&history[j]));
     let Some(recovered_to) = recovered_to else {
-        return Err(failure(
-            config,
+        return Err(failure_with_seed(
+            seed,
             Some(crash_at),
             format!(
                 "recovered state ({} nodes) matches no committed prefix in [{}, {}]",
@@ -395,37 +410,37 @@ fn run_crash_schedule(
                 outcome.acked,
                 outcome.attempted
             ),
-            &vfs,
+            vfs,
         ));
     };
     // A recovered journal must accept new appends and survive another
     // open — this is what catches torn tails that were replayed but not
     // truncated (the next record would concatenate onto them).
     if let Err(err) = store.execute(&probe_program()) {
-        return Err(failure(
-            config,
+        return Err(failure_with_seed(
+            seed,
             Some(crash_at),
             format!("recovered store rejected a probe append: {err}"),
-            &vfs,
+            vfs,
         ));
     }
     drop(store);
     match Store::open_with_vfs(arc, JOURNAL_PATH) {
         Ok(reopened) if reopened.instance().label_count(&Label::new("Probe")) == 1 => {}
         Ok(_) => {
-            return Err(failure(
-                config,
+            return Err(failure_with_seed(
+                seed,
                 Some(crash_at),
                 "probe append did not survive a reopen".into(),
-                &vfs,
+                vfs,
             ));
         }
         Err(err) => {
-            return Err(failure(
-                config,
+            return Err(failure_with_seed(
+                seed,
                 Some(crash_at),
                 format!("reopen after probe append failed: {err}"),
-                &vfs,
+                vfs,
             ));
         }
     }
@@ -436,6 +451,17 @@ fn run_crash_schedule(
         recovered_to: Some(recovered_to),
         fault_log: vfs.fault_log(),
     })
+}
+
+/// Run one crash schedule and verify prefix-consistent recovery.
+fn run_crash_schedule(
+    config: &TortureConfig,
+    history: &[Instance],
+    crash_at: u64,
+) -> TortureResult<ScheduleOutcome> {
+    let vfs = FaultVfs::new(FaultPlan::crash_at(config.seed, crash_at));
+    let outcome = run_workload(&vfs, config, None)?;
+    verify_prefix_recovery(config.seed, crash_at, history, &outcome, &vfs)
 }
 
 /// Run a single crash schedule against the seeded workload's oracle —
@@ -464,6 +490,161 @@ pub fn crash_sweep(config: &TortureConfig) -> TortureResult<TortureReport> {
     let mut outcomes = Vec::with_capacity(total_ops as usize);
     for crash_at in 0..total_ops {
         outcomes.push(run_crash_schedule(config, &history, crash_at)?);
+    }
+    Ok(TortureReport {
+        crash_points: total_ops,
+        outcomes,
+    })
+}
+
+/// Configuration for [`group_crash_sweep`].
+#[derive(Debug, Clone)]
+pub struct GroupTortureConfig {
+    /// Seed for the workload, the batch partition, and every fault
+    /// decision.
+    pub seed: u64,
+    /// Number of workload programs (partitioned into batches).
+    pub programs: usize,
+    /// Maximum batch size; actual sizes are seed-drawn in
+    /// `1..=max_batch`.
+    pub max_batch: usize,
+}
+
+impl Default for GroupTortureConfig {
+    fn default() -> Self {
+        GroupTortureConfig {
+            seed: 42,
+            programs: 12,
+            max_batch: 4,
+        }
+    }
+}
+
+/// Partition the seeded workload into seed-drawn batches — the same
+/// partition for the golden run and every crash schedule.
+fn group_batches(config: &GroupTortureConfig) -> Vec<Vec<Program>> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let programs = random_workload(config.seed, config.programs);
+    // Decorrelate the partition from the workload's own seed stream.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut batches = Vec::new();
+    let mut rest = programs.as_slice();
+    while !rest.is_empty() {
+        let take = rng.gen_range(1..=config.max_batch.min(rest.len()));
+        batches.push(rest[..take].to_vec());
+        rest = &rest[take..];
+    }
+    batches
+}
+
+/// Drive the batched workload against `vfs` via [`Store::execute_group`]
+/// until completion or the first crash-induced error. `history`, when
+/// supplied, collects the committed state at every **batch boundary**
+/// (creation counts as boundary 0) — deliberately *only* boundaries, so
+/// prefix-consistency checks against it reject any mid-batch state.
+fn run_group_workload(
+    vfs: &FaultVfs,
+    config: &GroupTortureConfig,
+    mut history: Option<&mut Vec<Instance>>,
+) -> TortureResult<RunOutcome> {
+    let batches = group_batches(config);
+    let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let crash_at = vfs.plan_crash_at();
+    let mut store = match Store::create_with_vfs(arc, JOURNAL_PATH, bench_scheme()) {
+        Ok(store) => store,
+        Err(err) => {
+            if vfs.crashed() {
+                return Ok(RunOutcome {
+                    created: false,
+                    acked: 0,
+                    attempted: 0,
+                });
+            }
+            return Err(failure_with_seed(
+                config.seed,
+                crash_at,
+                format!("store creation failed without a crash: {err}"),
+                vfs,
+            ));
+        }
+    };
+    if let Some(history) = history.as_deref_mut() {
+        history.push(store.instance().clone());
+    }
+    let mut acked = 0usize;
+    for (index, batch) in batches.iter().enumerate() {
+        match store.execute_group(batch) {
+            Ok(_outcomes) => {
+                acked += 1;
+                if let Some(history) = history.as_deref_mut() {
+                    history.push(store.instance().clone());
+                }
+            }
+            Err(err) => {
+                if vfs.crashed() {
+                    // The crash interrupted this batch's record group:
+                    // some or all of its records (and possibly the
+                    // commit marker) may have reached the disk.
+                    return Ok(RunOutcome {
+                        created: true,
+                        acked,
+                        attempted: acked + 1,
+                    });
+                }
+                return Err(failure_with_seed(
+                    config.seed,
+                    crash_at,
+                    format!("batch {index} failed without a crash: {err}"),
+                    vfs,
+                ));
+            }
+        }
+    }
+    Ok(RunOutcome {
+        created: true,
+        acked,
+        attempted: acked,
+    })
+}
+
+/// Enumerate every crash point of the batched workload — including
+/// every point *between the records of one group* — and verify that
+/// recovery always lands on a **batch boundary**: graph-isomorphic to
+/// the oracle state after batch `j` for `j` in `[acked, acked+1]`,
+/// never a state in the middle of a group. `acked+1` is legal because
+/// a crash in the commit fsync may still have made the whole group
+/// durable; any proper subset of the group must be discarded by
+/// recovery.
+pub fn group_crash_sweep(config: &GroupTortureConfig) -> TortureResult<TortureReport> {
+    // Golden run: batch-boundary history + the crash-point space.
+    let vfs = FaultVfs::new(FaultPlan::reliable(config.seed));
+    let mut history = Vec::with_capacity(config.programs + 1);
+    let outcome = run_group_workload(&vfs, config, Some(&mut history))?;
+    let batches = group_batches(config).len();
+    if outcome.acked != batches {
+        return Err(failure_with_seed(
+            config.seed,
+            None,
+            format!(
+                "golden run committed {} of {batches} batches",
+                outcome.acked
+            ),
+            &vfs,
+        ));
+    }
+    let total_ops = vfs.op_count();
+    let mut outcomes = Vec::with_capacity(total_ops as usize);
+    for crash_at in 0..total_ops {
+        let vfs = FaultVfs::new(FaultPlan::crash_at(config.seed, crash_at));
+        let outcome = run_group_workload(&vfs, config, None)?;
+        outcomes.push(verify_prefix_recovery(
+            config.seed,
+            crash_at,
+            &history,
+            &outcome,
+            &vfs,
+        )?);
     }
     Ok(TortureReport {
         crash_points: total_ops,

@@ -378,6 +378,13 @@ impl FaultVfs {
         self.state().plan.crash_at
     }
 
+    /// Arm (or disarm) the crash point mid-run — for tests that find
+    /// the interesting operation index dynamically (e.g. "crash on the
+    /// next I/O operation", `set_crash_at(Some(op_count()))`).
+    pub fn set_crash_at(&self, op: Option<u64>) {
+        self.state().plan.crash_at = op;
+    }
+
     /// Adjust the fault probabilities mid-run. The seed, RNG stream
     /// and crash point are unchanged, so runs stay deterministic as
     /// long as the adjustments happen at deterministic points.

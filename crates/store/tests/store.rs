@@ -269,6 +269,117 @@ fn second_snapshot_mid_journal_is_corruption() {
 }
 
 #[test]
+fn execute_group_commits_all_and_survives_reopen() {
+    let path = journal_path("group");
+    {
+        let mut store = Store::create(&path, scheme()).unwrap();
+        store.execute(&seed_program("Info")).unwrap();
+        let programs = vec![tag_program("A"), tag_program("B"), tag_program("C")];
+        let outcomes = store.execute_group(&programs).unwrap();
+        assert!(outcomes.iter().all(|outcome| outcome.is_ok()));
+        // snapshot + apply + 3 batch records + 1 commit marker.
+        assert_eq!(store.record_count(), 6);
+    }
+    let store = Store::open(&path).unwrap();
+    assert!(!store.recovered_torn_tail());
+    assert_eq!(store.record_count(), 6);
+    for tag in ["A", "B", "C"] {
+        assert_eq!(store.instance().label_count(&tag.into()), 1);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn execute_group_isolates_per_program_failures() {
+    let path = journal_path("group-mixed");
+    let mut store = Store::create(&path, scheme()).unwrap();
+    store.execute(&seed_program("Info")).unwrap();
+    let bad = {
+        let mut pattern = Pattern::new();
+        let a = pattern.node("Nope");
+        let b = pattern.node("Info");
+        Program::from_ops([Operation::EdgeAdd(EdgeAddition::multivalued(
+            pattern, a, "links-to", b,
+        ))])
+    };
+    let programs = vec![tag_program("Good1"), bad, tag_program("Good2")];
+    let outcomes = store.execute_group(&programs).unwrap();
+    assert!(outcomes[0].is_ok());
+    assert!(outcomes[1].is_err());
+    assert!(outcomes[2].is_ok());
+    // The two survivors form the group: 2 batch records + commit.
+    assert_eq!(store.record_count(), 5);
+    drop(store);
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.instance().label_count(&"Good1".into()), 1);
+    assert_eq!(store.instance().label_count(&"Good2".into()), 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn empty_group_performs_no_journal_io() {
+    let path = journal_path("group-empty");
+    let mut store = Store::create(&path, scheme()).unwrap();
+    store.execute(&seed_program("Info")).unwrap();
+    let size_before = std::fs::metadata(&path).unwrap().len();
+    let outcomes = store.execute_group(&[]).unwrap();
+    assert!(outcomes.is_empty());
+    assert_eq!(store.record_count(), 2);
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), size_before);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn single_program_group_journals_as_plain_apply() {
+    let path = journal_path("group-single");
+    let mut store = Store::create(&path, scheme()).unwrap();
+    store.execute(&seed_program("Info")).unwrap();
+    store.execute_group(&[tag_program("Solo")]).unwrap();
+    // Plain Apply, no batch framing: record count advances by one.
+    assert_eq!(store.record_count(), 3);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(!text.contains("BatchCommit"));
+    drop(store);
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.instance().label_count(&"Solo".into()), 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn crash_between_batch_records_recovers_to_batch_boundary() {
+    let path = journal_path("group-torn");
+    {
+        let mut store = Store::create(&path, scheme()).unwrap();
+        store.execute(&seed_program("Info")).unwrap();
+    }
+    // Simulate a crash after the batch records landed but before the
+    // commit marker: every line is intact and newline-terminated, yet
+    // the group never committed.
+    {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        for tag in ["LostA", "LostB"] {
+            let line = serde_json::to_string(&good_store::LogRecord::BatchApply(tag_program(tag)))
+                .unwrap();
+            writeln!(file, "{line}").unwrap();
+        }
+    }
+    let mut store = Store::open(&path).unwrap();
+    assert!(store.recovered_torn_tail());
+    assert_eq!(store.instance().label_count(&"LostA".into()), 0);
+    assert_eq!(store.instance().label_count(&"LostB".into()), 0);
+    // The truncated journal accepts clean appends again.
+    store.execute(&seed_program("After")).unwrap();
+    drop(store);
+    let store = Store::open(&path).unwrap();
+    assert!(!store.recovered_torn_tail());
+    assert_eq!(store.instance().label_count(&"After".into()), 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn empty_journal_is_missing_snapshot() {
     let path = journal_path("empty");
     std::fs::write(&path, "").unwrap();

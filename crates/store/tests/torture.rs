@@ -5,7 +5,9 @@
 //! ≥200 schedules) is `#[ignore]`d and runs in the nightly job via
 //! `cargo test --workspace --release -- --ignored`.
 
-use good_store::torture::{crash_sweep, fault_soak, SoakConfig, TortureConfig};
+use good_store::torture::{
+    crash_sweep, fault_soak, group_crash_sweep, GroupTortureConfig, SoakConfig, TortureConfig,
+};
 use proptest::prelude::*;
 
 #[test]
@@ -75,6 +77,48 @@ fn smoke_fault_soak_survives_injected_faults() {
     );
 }
 
+#[test]
+fn smoke_every_group_commit_crash_point_lands_on_a_batch_boundary() {
+    let config = GroupTortureConfig {
+        seed: 13,
+        programs: 10,
+        max_batch: 4,
+    };
+    let report = group_crash_sweep(&config).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(
+        report.crash_points >= 15,
+        "batched workload too small: {} crash points",
+        report.crash_points
+    );
+    // The sweep must include at least one crash *between* the records
+    // of a multi-record group that forced recovery to discard the
+    // whole group (recovered_to == acked, i.e. the pre-batch boundary).
+    assert!(
+        report.outcomes.iter().any(|o| {
+            o.attempted > o.acked
+                && o.recovered_to == Some(o.acked)
+                && o.fault_log
+                    .iter()
+                    .any(|l| l.contains("CRASH during append"))
+        }),
+        "no schedule discarded a partially-written group"
+    );
+    // Every schedule that interrupted a group recovered to its
+    // pre-batch boundary: a crash inside the group's I/O window means
+    // the commit marker was never fsynced, so full survival would need
+    // the reboot tear to land exactly at the end of the un-synced
+    // suffix — recovery must therefore discard the group, and the
+    // verifier has already rejected anything in between.
+    for outcome in report.outcomes.iter().filter(|o| o.attempted > o.acked) {
+        assert_eq!(
+            outcome.recovered_to,
+            Some(outcome.acked),
+            "crash {} kept a group whose commit marker never synced",
+            outcome.crash_at
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -88,6 +132,18 @@ proptest! {
     ) {
         let config = TortureConfig { seed, programs, checkpoint_every };
         if let Err(failure) = crash_sweep(&config) {
+            panic!("{failure}");
+        }
+    }
+
+    #[test]
+    fn random_group_configs_survive_a_full_crash_sweep(
+        seed in 0u64..1_000_000,
+        programs in 3usize..7,
+        max_batch in 2usize..5,
+    ) {
+        let config = GroupTortureConfig { seed, programs, max_batch };
+        if let Err(failure) = group_crash_sweep(&config) {
             panic!("{failure}");
         }
     }
@@ -121,6 +177,30 @@ fn nightly_full_torture_matrix() {
     assert!(
         schedules >= 200,
         "matrix enumerated only {schedules} crash schedules"
+    );
+}
+
+/// Nightly group-commit matrix: every crash point (including every
+/// point between the records of one group) of four batched workloads —
+/// over the 200-schedule floor the all-or-nothing-per-batch contract
+/// is certified against.
+#[test]
+#[ignore = "full group-commit torture matrix (~minutes); nightly runs it via --ignored"]
+fn nightly_group_commit_torture_matrix() {
+    let mut schedules = 0u64;
+    for seed in [5u64, 6, 7, 8, 9, 10, 11, 12] {
+        let config = GroupTortureConfig {
+            seed,
+            programs: 18,
+            max_batch: 5,
+        };
+        let report = group_crash_sweep(&config).unwrap_or_else(|failure| panic!("{failure}"));
+        schedules += report.crash_points;
+        println!("seed {seed}: {}", report.summary());
+    }
+    assert!(
+        schedules >= 200,
+        "group matrix enumerated only {schedules} crash schedules"
     );
 }
 
