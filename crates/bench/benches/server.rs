@@ -58,6 +58,7 @@ fn fresh_server(max_batch: usize) -> Server {
         ServerConfig {
             queue_capacity: PROGRAMS + 1,
             max_batch,
+            ..ServerConfig::default()
         },
     )
 }

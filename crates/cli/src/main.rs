@@ -209,6 +209,7 @@ fn run_serve(args: &[String]) -> i32 {
         ServerConfig {
             queue_capacity,
             max_batch,
+            ..ServerConfig::default()
         },
     );
 

@@ -17,6 +17,7 @@
 
 use crate::error::{GoodError, Result};
 use crate::label::{EdgeKind, Label, NodeKind};
+use crate::persist::{PMap, PSet, SharedMap};
 use crate::scheme::Scheme;
 use crate::value::Value;
 use good_graph::dot::{DotEdge, DotNode};
@@ -43,7 +44,7 @@ pub struct EdgeData {
 
 /// Per-key postings of the adjacency index: anchor node → sorted
 /// neighbour set.
-type Postings = BTreeMap<NodeId, BTreeSet<NodeId>>;
+type Postings = PMap<NodeId, PSet<NodeId>>;
 
 /// Batched deletions at least this large (and dooming a sizable graph
 /// fraction) rebuild the adjacency index wholesale instead of
@@ -73,17 +74,22 @@ const BULK_REBUILD_MIN: usize = 64;
 /// two borrowed `&Label`s — a tuple key would force two `String`
 /// clones per lookup, and `has_edge` sits in the matcher's innermost
 /// loop.
+///
+/// Every level is a persistent [`PMap`]/[`PSet`], so cloning the index
+/// is a few `Arc` bumps and indexing one edge path-copies only the
+/// O(log n) nodes around the touched postings — the property that
+/// makes snapshot publishes O(delta) (see `crate::snapshot`).
 #[derive(Debug, Clone, Default, PartialEq)]
 struct AdjacencyIndex {
-    sources: HashMap<Label, HashMap<Label, Postings>>,
-    targets: HashMap<Label, HashMap<Label, Postings>>,
-    out_support: HashMap<Label, HashMap<Label, BTreeSet<NodeId>>>,
-    in_support: HashMap<Label, HashMap<Label, BTreeSet<NodeId>>>,
+    sources: SharedMap<Label, SharedMap<Label, Postings>>,
+    targets: SharedMap<Label, SharedMap<Label, Postings>>,
+    out_support: SharedMap<Label, SharedMap<Label, PSet<NodeId>>>,
+    in_support: SharedMap<Label, SharedMap<Label, PSet<NodeId>>>,
 }
 
 /// Borrowed-key probe of a nested index map — no allocation.
 fn nested_get<'a, T>(
-    map: &'a HashMap<Label, HashMap<Label, T>>,
+    map: &'a SharedMap<Label, SharedMap<Label, T>>,
     node_label: &Label,
     edge: &Label,
 ) -> Option<&'a T> {
@@ -93,8 +99,8 @@ fn nested_get<'a, T>(
 /// Remove the `(node_label, edge)` entry of a nested index map,
 /// pruning the outer entry when its inner map empties. `prune` decides
 /// what to do with the inner value; returning `true` drops it.
-fn nested_prune<T>(
-    map: &mut HashMap<Label, HashMap<Label, T>>,
+fn nested_prune<T: Clone>(
+    map: &mut SharedMap<Label, SharedMap<Label, T>>,
     node_label: &Label,
     edge: &Label,
     prune: impl FnOnce(&mut T) -> bool,
@@ -123,32 +129,22 @@ impl AdjacencyIndex {
         dst_label: &Label,
     ) {
         self.sources
-            .entry(src_label.clone())
-            .or_default()
-            .entry(edge.clone())
-            .or_default()
-            .entry(dst)
-            .or_default()
+            .get_or_insert_with(src_label, SharedMap::new)
+            .get_or_insert_with(edge, PMap::new)
+            .get_or_insert_with(&dst, PSet::new)
             .insert(src);
         self.targets
-            .entry(dst_label.clone())
-            .or_default()
-            .entry(edge.clone())
-            .or_default()
-            .entry(src)
-            .or_default()
+            .get_or_insert_with(dst_label, SharedMap::new)
+            .get_or_insert_with(edge, PMap::new)
+            .get_or_insert_with(&src, PSet::new)
             .insert(dst);
         self.out_support
-            .entry(src_label.clone())
-            .or_default()
-            .entry(edge.clone())
-            .or_default()
+            .get_or_insert_with(src_label, SharedMap::new)
+            .get_or_insert_with(edge, PSet::new)
             .insert(src);
         self.in_support
-            .entry(dst_label.clone())
-            .or_default()
-            .entry(edge.clone())
-            .or_default()
+            .get_or_insert_with(dst_label, SharedMap::new)
+            .get_or_insert_with(edge, PSet::new)
             .insert(dst);
     }
 
@@ -214,6 +210,68 @@ impl AdjacencyIndex {
         }
         index
     }
+
+    /// A structure-unsharing copy: every persistent node at every level
+    /// is rebuilt. Models the pre-persistent clone cost (E16 baseline).
+    fn deep_clone(&self) -> Self {
+        fn unshare_set(set: &PSet<NodeId>) -> PSet<NodeId> {
+            set.iter().copied().collect()
+        }
+        fn unshare<T: Clone>(
+            map: &SharedMap<Label, SharedMap<Label, T>>,
+            inner: impl Fn(&T) -> T,
+        ) -> SharedMap<Label, SharedMap<Label, T>> {
+            map.iter()
+                .map(|(label, by_edge)| {
+                    (
+                        label.clone(),
+                        by_edge
+                            .iter()
+                            .map(|(edge, value)| (edge.clone(), inner(value)))
+                            .collect(),
+                    )
+                })
+                .collect()
+        }
+        let unshare_postings = |postings: &Postings| -> Postings {
+            postings
+                .iter()
+                .map(|(anchor, set)| (*anchor, unshare_set(set)))
+                .collect()
+        };
+        AdjacencyIndex {
+            sources: unshare(&self.sources, unshare_postings),
+            targets: unshare(&self.targets, unshare_postings),
+            out_support: unshare(&self.out_support, unshare_set),
+            in_support: unshare(&self.in_support, unshare_set),
+        }
+    }
+
+    /// Rough heap footprint in bytes across all four nested views.
+    fn approx_bytes(&self) -> usize {
+        fn set_bytes(set: &PSet<NodeId>) -> usize {
+            set.approx_bytes()
+        }
+        fn nested_bytes<T>(
+            map: &SharedMap<Label, SharedMap<Label, T>>,
+            inner: impl Fn(&T) -> usize,
+        ) -> usize {
+            map.approx_bytes()
+                + map
+                    .values()
+                    .map(|by_edge| {
+                        by_edge.approx_bytes() + by_edge.values().map(&inner).sum::<usize>()
+                    })
+                    .sum::<usize>()
+        }
+        let postings_bytes = |postings: &Postings| -> usize {
+            postings.approx_bytes() + postings.values().map(set_bytes).sum::<usize>()
+        };
+        nested_bytes(&self.sources, postings_bytes)
+            + nested_bytes(&self.targets, postings_bytes)
+            + nested_bytes(&self.out_support, set_bytes)
+            + nested_bytes(&self.in_support, set_bytes)
+    }
 }
 
 /// # Example
@@ -243,9 +301,12 @@ pub struct Instance {
     scheme: Scheme,
     graph: Graph<NodeData, EdgeData>,
     /// label → live nodes with that label (sorted for determinism).
-    label_index: HashMap<Label, BTreeSet<NodeId>>,
-    /// (printable label, value) → the unique node carrying it.
-    printable_index: HashMap<(Label, Value), NodeId>,
+    label_index: SharedMap<Label, PSet<NodeId>>,
+    /// printable label → value → the unique node carrying it. Nested
+    /// rather than keyed by `(Label, Value)` so lookups probe with two
+    /// borrows instead of cloning a tuple key; the outer level is
+    /// label-keyed (scheme-bounded), so it hash-probes.
+    printable_index: SharedMap<Label, PMap<Value, NodeId>>,
     /// (node label, edge label) → postings, for the matcher.
     adjacency: AdjacencyIndex,
 }
@@ -279,35 +340,30 @@ impl Instance {
         Instance {
             scheme,
             graph: Graph::new(),
-            label_index: HashMap::new(),
-            printable_index: HashMap::new(),
+            label_index: SharedMap::new(),
+            printable_index: SharedMap::new(),
             adjacency: AdjacencyIndex::default(),
         }
     }
 
     /// Rebuild an instance from a scheme and a raw graph, validating all
     /// invariants and reconstructing the indexes. This is the
-    /// deserialization path.
+    /// deserialization / recovery path (E13), so the indexes are built
+    /// from borrows in a single pass over the live nodes — no per-node
+    /// payload clones, no id buffering.
     pub fn from_parts(scheme: Scheme, graph: Graph<NodeData, EdgeData>) -> Result<Self> {
         let adjacency = AdjacencyIndex::build(&graph);
-        let mut instance = Instance {
-            scheme,
-            graph,
-            label_index: HashMap::new(),
-            printable_index: HashMap::new(),
-            adjacency,
-        };
-        for node in instance.graph.node_ids().collect::<Vec<_>>() {
-            let data = instance.graph.node(node).expect("live").clone();
-            instance
-                .label_index
-                .entry(data.label.clone())
-                .or_default()
-                .insert(node);
-            if let Some(value) = data.print {
-                let prior = instance
-                    .printable_index
-                    .insert((data.label.clone(), value.clone()), node);
+        let mut label_index: SharedMap<Label, PSet<NodeId>> = SharedMap::new();
+        let mut printable_index: SharedMap<Label, PMap<Value, NodeId>> = SharedMap::new();
+        for node in graph.nodes() {
+            let data = node.payload;
+            label_index
+                .get_or_insert_with(&data.label, PSet::new)
+                .insert(node.id);
+            if let Some(value) = &data.print {
+                let prior = printable_index
+                    .get_or_insert_with(&data.label, PMap::new)
+                    .insert(value.clone(), node.id);
                 if prior.is_some() {
                     return Err(GoodError::InvariantViolation(format!(
                         "duplicate printable node {} = {value}",
@@ -316,6 +372,13 @@ impl Instance {
                 }
             }
         }
+        let instance = Instance {
+            scheme,
+            graph,
+            label_index,
+            printable_index,
+            adjacency,
+        };
         // Content must be audited on every load (the bytes are
         // untrusted), but the derived indexes were built three lines up
         // from this very graph — re-deriving them to compare is pure
@@ -324,6 +387,58 @@ impl Instance {
         #[cfg(debug_assertions)]
         instance.validate_indexes()?;
         Ok(instance)
+    }
+
+    /// A structure-unsharing clone: the graph arenas and every level of
+    /// every index are rebuilt node by node, sharing nothing with
+    /// `self`. This is exactly the work the pre-persistent
+    /// representation did on *every* snapshot publish; benches (E16)
+    /// use it as the baseline that `clone()` is measured against.
+    pub fn deep_clone(&self) -> Self {
+        Instance {
+            scheme: self.scheme.clone(),
+            graph: self.graph.deep_clone(),
+            label_index: self
+                .label_index
+                .iter()
+                .map(|(label, set)| (label.clone(), set.iter().copied().collect()))
+                .collect(),
+            printable_index: self
+                .printable_index
+                .iter()
+                .map(|(label, values)| {
+                    (
+                        label.clone(),
+                        values
+                            .iter()
+                            .map(|(value, node)| (value.clone(), *node))
+                            .collect(),
+                    )
+                })
+                .collect(),
+            adjacency: self.adjacency.deep_clone(),
+        }
+    }
+
+    /// Rough heap footprint of the graph arenas and all indexes in
+    /// bytes, counting every persistent node once (shared nodes are
+    /// *not* deduplicated, so this is the retained size of an unshared
+    /// copy). Feeds the MVCC ring's byte-based retention policy.
+    pub fn approx_bytes(&self) -> usize {
+        self.graph.approx_bytes()
+            + self.label_index.approx_bytes()
+            + self
+                .label_index
+                .values()
+                .map(PSet::approx_bytes)
+                .sum::<usize>()
+            + self.printable_index.approx_bytes()
+            + self
+                .printable_index
+                .values()
+                .map(PMap::approx_bytes)
+                .sum::<usize>()
+            + self.adjacency.approx_bytes()
     }
 
     // ---- accessors --------------------------------------------------------
@@ -382,13 +497,14 @@ impl Instance {
 
     /// Number of live nodes with the given label.
     pub fn label_count(&self, label: &Label) -> usize {
-        self.label_index.get(label).map_or(0, BTreeSet::len)
+        self.label_index.get(label).map_or(0, PSet::len)
     }
 
     /// The unique printable node holding `value` under `label`, if any.
     pub fn find_printable(&self, label: &Label, value: &Value) -> Option<NodeId> {
         self.printable_index
-            .get(&(label.clone(), value.clone()))
+            .get(label)
+            .and_then(|values| values.get(value))
             .copied()
     }
 
@@ -468,7 +584,7 @@ impl Instance {
         src_label: &Label,
         edge: &Label,
         dst: NodeId,
-    ) -> Option<&BTreeSet<NodeId>> {
+    ) -> Option<&PSet<NodeId>> {
         nested_get(&self.adjacency.sources, src_label, edge).and_then(|postings| postings.get(&dst))
     }
 
@@ -479,20 +595,20 @@ impl Instance {
         dst_label: &Label,
         edge: &Label,
         src: NodeId,
-    ) -> Option<&BTreeSet<NodeId>> {
+    ) -> Option<&PSet<NodeId>> {
         nested_get(&self.adjacency.targets, dst_label, edge).and_then(|postings| postings.get(&src))
     }
 
     /// The sorted set of `label`-labeled nodes with at least one outgoing
     /// `λ`-edge. A complete over-approximation of the candidates for a
     /// pattern node with an unanchored outgoing `λ`-edge.
-    pub fn out_support(&self, label: &Label, edge: &Label) -> Option<&BTreeSet<NodeId>> {
+    pub fn out_support(&self, label: &Label, edge: &Label) -> Option<&PSet<NodeId>> {
         nested_get(&self.adjacency.out_support, label, edge)
     }
 
     /// The sorted set of `label`-labeled nodes with at least one incoming
     /// `λ`-edge.
-    pub fn in_support(&self, label: &Label, edge: &Label) -> Option<&BTreeSet<NodeId>> {
+    pub fn in_support(&self, label: &Label, edge: &Label) -> Option<&PSet<NodeId>> {
         nested_get(&self.adjacency.in_support, label, edge)
     }
 
@@ -523,7 +639,9 @@ impl Instance {
             label: label.clone(),
             print: None,
         });
-        self.label_index.entry(label).or_default().insert(id);
+        self.label_index
+            .get_or_insert_with(&label, PSet::new)
+            .insert(id);
         Ok(id)
     }
 
@@ -554,7 +672,11 @@ impl Instance {
                 value,
             });
         }
-        if let Some(existing) = self.printable_index.get(&(label.clone(), value.clone())) {
+        if let Some(existing) = self
+            .printable_index
+            .get(&label)
+            .and_then(|values| values.get(&value))
+        {
             return Ok(*existing);
         }
         let id = self.graph.add_node(NodeData {
@@ -562,10 +684,11 @@ impl Instance {
             print: Some(value.clone()),
         });
         self.label_index
-            .entry(label.clone())
-            .or_default()
+            .get_or_insert_with(&label, PSet::new)
             .insert(id);
-        self.printable_index.insert((label, value), id);
+        self.printable_index
+            .get_or_insert_with(&label, PMap::new)
+            .insert(value, id);
         Ok(id)
     }
 
@@ -697,8 +820,13 @@ impl Instance {
                 self.label_index.remove(&data.label);
             }
         }
-        if let Some(value) = data.print {
-            self.printable_index.remove(&(data.label, value));
+        if let Some(value) = &data.print {
+            if let Some(values) = self.printable_index.get_mut(&data.label) {
+                values.remove(value);
+                if values.is_empty() {
+                    self.printable_index.remove(&data.label);
+                }
+            }
         }
         true
     }
@@ -968,8 +1096,8 @@ impl Instance {
     /// [`Instance::debug_assert_indexes`], which compiles it out.
     pub fn validate_indexes(&self) -> Result<()> {
         // Index integrity.
-        for (label, set) in &self.label_index {
-            for node in set {
+        for (label, set) in self.label_index.iter() {
+            for node in set.iter() {
                 let data = self.graph.node(*node).ok_or_else(|| {
                     GoodError::InvariantViolation(format!("index points at dead node {node:?}"))
                 })?;

@@ -44,6 +44,7 @@ pub mod meta;
 pub mod method;
 pub mod ops;
 pub mod pattern;
+pub mod persist;
 pub mod program;
 pub mod rules;
 pub mod scheme;

@@ -28,6 +28,7 @@ use crate::error::{GoodError, Result};
 use crate::instance::Instance;
 use crate::label::Label;
 use crate::pattern::{Pattern, PatternNode, PatternNodeKind};
+use crate::persist::PSet;
 use good_graph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -279,7 +280,7 @@ impl<'a> Search<'a> {
         // label), which are exact and degree-independent. A probed
         // anchor with no postings means no candidate at all.
         enum Anchor<'i> {
-            Postings(&'i BTreeSet<NodeId>),
+            Postings(&'i PSet<NodeId>),
             ScanSources(NodeId),
             ScanTargets(NodeId),
         }
@@ -365,7 +366,7 @@ impl<'a> Search<'a> {
         }
         // No bound neighbour: intersect the support sets of every
         // incident edge label, smallest first.
-        let mut supports: Vec<&BTreeSet<NodeId>> = Vec::new();
+        let mut supports: Vec<&PSet<NodeId>> = Vec::new();
         for edge in self.pattern.graph().out_edges(pnode) {
             if edge.payload.negated {
                 continue;
@@ -459,13 +460,13 @@ impl<'a> Search<'a> {
                     } else {
                         self.instance
                             .indexed_sources(label, &edge.payload.label, bound)
-                            .map_or(0, BTreeSet::len)
+                            .map_or(0, PSet::len)
                     }
                 }
                 None => self
                     .instance
                     .out_support(label, &edge.payload.label)
-                    .map_or(0, BTreeSet::len),
+                    .map_or(0, PSet::len),
             };
             best = best.min(size);
         }
@@ -481,13 +482,13 @@ impl<'a> Search<'a> {
                     } else {
                         self.instance
                             .indexed_targets(label, &edge.payload.label, bound)
-                            .map_or(0, BTreeSet::len)
+                            .map_or(0, PSet::len)
                     }
                 }
                 None => self
                     .instance
                     .in_support(label, &edge.payload.label)
-                    .map_or(0, BTreeSet::len),
+                    .map_or(0, PSet::len),
             };
             best = best.min(size);
         }

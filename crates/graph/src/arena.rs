@@ -6,7 +6,13 @@
 //! This matters for GOOD because node deletion (`ND`) is a first-class
 //! operation and patterns, matchings and method frames all hold node
 //! handles across mutations.
+//!
+//! Slots are stored in a persistent [`PVec`](crate::pvec::PVec), so
+//! cloning an arena is one `Arc` bump and mutating it path-copies only
+//! the O(log n) trie nodes around the touched slot — the property the
+//! snapshot/MVCC layers above rely on for O(delta) publishes.
 
+use crate::pvec::PVec;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -62,16 +68,37 @@ enum Slot<T> {
     },
 }
 
-/// A generational arena: a `Vec` of slots with an intrusive free list.
+/// A generational arena: a persistent vector of slots with an intrusive
+/// free list.
 ///
 /// Insertions reuse vacated slots (keeping the id space dense, which the
 /// graph layer exploits for `Vec`-backed side tables) and removals are
-/// O(1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// O(1). Cloning is O(1) — the slot trie is structurally shared with
+/// the clone until either side writes.
+#[derive(Debug, Clone, Serialize)]
 pub struct Arena<T> {
-    slots: Vec<Slot<T>>,
+    slots: PVec<Slot<T>>,
     free_head: Option<u32>,
     len: usize,
+}
+
+// Manual impl because the derive would not add the `T: Clone` bound
+// that `PVec`'s deserializer (which builds by `push`) requires.
+impl<T: Deserialize + Clone> Deserialize for Arena<T> {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let entries = serde::__private::expect_map(content, "Arena")?;
+        Ok(Arena {
+            slots: Deserialize::from_content(serde::__private::map_field(
+                entries, "slots", "Arena",
+            )?)?,
+            free_head: Deserialize::from_content(serde::__private::map_field(
+                entries,
+                "free_head",
+                "Arena",
+            )?)?,
+            len: Deserialize::from_content(serde::__private::map_field(entries, "len", "Arena")?)?,
+        })
+    }
 }
 
 impl<T> Default for Arena<T> {
@@ -84,19 +111,16 @@ impl<T> Arena<T> {
     /// Create an empty arena.
     pub fn new() -> Self {
         Arena {
-            slots: Vec::new(),
+            slots: PVec::new(),
             free_head: None,
             len: 0,
         }
     }
 
-    /// Create an empty arena with room for `capacity` values.
-    pub fn with_capacity(capacity: usize) -> Self {
-        Arena {
-            slots: Vec::with_capacity(capacity),
-            free_head: None,
-            len: 0,
-        }
+    /// Create an empty arena. (Capacity hints are meaningless for the
+    /// persistent trie; kept for API stability.)
+    pub fn with_capacity(_capacity: usize) -> Self {
+        Arena::new()
     }
 
     /// Number of live values.
@@ -118,12 +142,71 @@ impl<T> Arena<T> {
         self.slots.len()
     }
 
+    /// True if `id` refers to a live value.
+    #[inline]
+    pub fn contains(&self, id: ArenaId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Shared access to the value with id `id`.
+    #[inline]
+    pub fn get(&self, id: ArenaId) -> Option<&T> {
+        match self.slots.get(id.index()) {
+            Some(Slot::Occupied { generation, value }) if *generation == id.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterate over `(id, &value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (ArenaId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| match slot {
+                Slot::Occupied { generation, value } => Some((
+                    ArenaId {
+                        index: index as u32,
+                        generation: *generation,
+                    },
+                    value,
+                )),
+                Slot::Vacant { .. } => None,
+            })
+    }
+
+    /// Iterate over live ids.
+    pub fn ids(&self) -> impl Iterator<Item = ArenaId> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+
+    /// Rough heap footprint of the slot trie in bytes (payload
+    /// indirections are not followed). Feeds byte-based MVCC retention.
+    pub fn approx_bytes(&self) -> usize {
+        self.slots.approx_bytes()
+    }
+
+    /// Drop all values and reset the arena. Previously issued ids become
+    /// invalid (generations are *not* preserved across `clear`, so only use
+    /// this when no stale ids can be dereferenced afterwards).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = None;
+        self.len = 0;
+    }
+}
+
+impl<T: Clone> Arena<T> {
     /// Insert a value, returning its id.
     pub fn insert(&mut self, value: T) -> ArenaId {
         self.len += 1;
         match self.free_head {
             Some(index) => {
-                let slot = &mut self.slots[index as usize];
+                let slot = self
+                    .slots
+                    .get_mut(index as usize)
+                    .expect("free list points outside the slot vector");
                 let (generation, next_free) = match slot {
                     Slot::Vacant {
                         generation,
@@ -173,23 +256,6 @@ impl<T> Arena<T> {
         }
     }
 
-    /// True if `id` refers to a live value.
-    #[inline]
-    pub fn contains(&self, id: ArenaId) -> bool {
-        self.get(id).is_some()
-    }
-
-    /// Shared access to the value with id `id`.
-    #[inline]
-    pub fn get(&self, id: ArenaId) -> Option<&T> {
-        match self.slots.get(id.index()) {
-            Some(Slot::Occupied { generation, value }) if *generation == id.generation => {
-                Some(value)
-            }
-            _ => None,
-        }
-    }
-
     /// Mutable access to the value with id `id`.
     #[inline]
     pub fn get_mut(&mut self, id: ArenaId) -> Option<&mut T> {
@@ -201,52 +267,16 @@ impl<T> Arena<T> {
         }
     }
 
-    /// Iterate over `(id, &value)` pairs in slot order.
-    pub fn iter(&self) -> impl Iterator<Item = (ArenaId, &T)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(index, slot)| match slot {
-                Slot::Occupied { generation, value } => Some((
-                    ArenaId {
-                        index: index as u32,
-                        generation: *generation,
-                    },
-                    value,
-                )),
-                Slot::Vacant { .. } => None,
-            })
-    }
-
-    /// Iterate over `(id, &mut value)` pairs in slot order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ArenaId, &mut T)> {
-        self.slots
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(index, slot)| match slot {
-                Slot::Occupied { generation, value } => Some((
-                    ArenaId {
-                        index: index as u32,
-                        generation: *generation,
-                    },
-                    value,
-                )),
-                Slot::Vacant { .. } => None,
-            })
-    }
-
-    /// Iterate over live ids.
-    pub fn ids(&self) -> impl Iterator<Item = ArenaId> + '_ {
-        self.iter().map(|(id, _)| id)
-    }
-
-    /// Drop all values and reset the arena. Previously issued ids become
-    /// invalid (generations are *not* preserved across `clear`, so only use
-    /// this when no stale ids can be dereferenced afterwards).
-    pub fn clear(&mut self) {
-        self.slots.clear();
-        self.free_head = None;
-        self.len = 0;
+    /// A structure-unsharing clone: rebuilds the slot trie node by node so
+    /// the result shares nothing with `self`. This models the
+    /// pre-persistent O(graph) clone cost and serves as the bench
+    /// baseline for E16.
+    pub fn deep_clone(&self) -> Self {
+        Arena {
+            slots: self.slots.deep_clone(),
+            free_head: self.free_head,
+            len: self.len,
+        }
     }
 }
 
@@ -311,13 +341,18 @@ mod tests {
     }
 
     #[test]
-    fn iter_mut_allows_updates() {
+    fn clone_shares_until_written() {
         let mut arena = Arena::new();
-        let a = arena.insert(1);
-        for (_, v) in arena.iter_mut() {
-            *v += 10;
-        }
-        assert_eq!(arena.get(a), Some(&11));
+        let ids: Vec<_> = (0..100).map(|i| arena.insert(i)).collect();
+        let snapshot = arena.clone();
+        *arena.get_mut(ids[0]).unwrap() = 999;
+        arena.remove(ids[50]);
+        // The clone is an unchanged point-in-time view.
+        assert_eq!(snapshot.get(ids[0]), Some(&0));
+        assert_eq!(snapshot.get(ids[50]), Some(&50));
+        assert_eq!(snapshot.len(), 100);
+        assert_eq!(arena.get(ids[0]), Some(&999));
+        assert_eq!(arena.len(), 99);
     }
 
     #[test]

@@ -104,10 +104,29 @@ pub struct EdgeRef<'g, E> {
 /// assert!(graph.contains_node(info));
 /// ```
 /// A directed multigraph with payloads on nodes and edges.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Both arenas live in persistent tries, so `clone()` is O(1) and a
+/// clone shares all storage with the original until either side writes.
+#[derive(Debug, Clone, Serialize)]
 pub struct Graph<N, E> {
     nodes: Arena<NodeSlot<N>>,
     edges: Arena<EdgeSlot<E>>,
+}
+
+// Manual impl because the arena's deserializer needs `Clone` payloads
+// (it rebuilds the persistent slot trie by `push`).
+impl<N: Deserialize + Clone, E: Deserialize + Clone> Deserialize for Graph<N, E> {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let entries = serde::__private::expect_map(content, "Graph")?;
+        Ok(Graph {
+            nodes: Deserialize::from_content(serde::__private::map_field(
+                entries, "nodes", "Graph",
+            )?)?,
+            edges: Deserialize::from_content(serde::__private::map_field(
+                entries, "edges", "Graph",
+            )?)?,
+        })
+    }
 }
 
 impl<N, E> Default for Graph<N, E> {
@@ -151,6 +170,16 @@ impl<N, E> Graph<N, E> {
         self.nodes.index_bound()
     }
 
+    /// Number of live nodes and edges together (diagnostic).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0 && self.edge_count() == 0
+    }
+}
+
+/// Mutation requires `Clone` payloads: writes path-copy any trie nodes
+/// shared with live snapshots.
+impl<N: Clone, E: Clone> Graph<N, E> {
     /// Add a node carrying `payload`.
     pub fn add_node(&mut self, payload: N) -> NodeId {
         NodeId(self.nodes.insert(NodeSlot {
@@ -224,6 +253,30 @@ impl<N, E> Graph<N, E> {
         Some(slot.payload)
     }
 
+    /// Mutable access to a node payload.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes.get_mut(id.0).map(|slot| &mut slot.payload)
+    }
+
+    /// Mutable access to an edge payload.
+    #[inline]
+    pub fn edge_mut(&mut self, id: EdgeId) -> Option<&mut E> {
+        self.edges.get_mut(id.0).map(|slot| &mut slot.payload)
+    }
+
+    /// A structure-unsharing clone: rebuilds both arena tries so the
+    /// result shares nothing with `self`. Models the pre-persistent
+    /// O(graph) clone cost (E16's baseline).
+    pub fn deep_clone(&self) -> Self {
+        Graph {
+            nodes: self.nodes.deep_clone(),
+            edges: self.edges.deep_clone(),
+        }
+    }
+}
+
+impl<N, E> Graph<N, E> {
     /// True if `id` is a live node.
     #[inline]
     pub fn contains_node(&self, id: NodeId) -> bool {
@@ -242,22 +295,10 @@ impl<N, E> Graph<N, E> {
         self.nodes.get(id.0).map(|slot| &slot.payload)
     }
 
-    /// Mutable access to a node payload.
-    #[inline]
-    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut N> {
-        self.nodes.get_mut(id.0).map(|slot| &mut slot.payload)
-    }
-
     /// Shared access to an edge payload.
     #[inline]
     pub fn edge(&self, id: EdgeId) -> Option<&E> {
         self.edges.get(id.0).map(|slot| &slot.payload)
-    }
-
-    /// Mutable access to an edge payload.
-    #[inline]
-    pub fn edge_mut(&mut self, id: EdgeId) -> Option<&mut E> {
-        self.edges.get_mut(id.0).map(|slot| &mut slot.payload)
     }
 
     /// The `(src, dst)` endpoints of an edge.
@@ -356,6 +397,12 @@ impl<N, E> Graph<N, E> {
     /// Predecessor node ids (with multiplicity).
     pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.in_edges(node).map(|edge| edge.src)
+    }
+
+    /// Rough heap footprint of the arena tries in bytes (payload
+    /// indirections are not followed).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.approx_bytes() + self.edges.approx_bytes()
     }
 
     /// Map payloads into a new graph with identical structure and ids.

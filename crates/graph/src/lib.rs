@@ -9,6 +9,10 @@
 //! * [`Graph`] — a generational-arena directed multigraph with payloads on
 //!   nodes and edges, O(1) insertion/removal and stable identifiers;
 //! * [`NodeId`] / [`EdgeId`] — copyable, generation-checked handles;
+//! * [`pvec`] — the persistent, structurally shared vector the arenas
+//!   store their slots in, making `Graph::clone` O(1) `Arc` bumps and
+//!   mutation O(delta · log n) path copies (the substrate of the MVCC
+//!   snapshot layer in `good-core`/`good-server`);
 //! * [`algo`] — reachability, transitive closure, strongly connected
 //!   components, topological sorting, connected components;
 //! * [`iso`] — a VF2-style (sub)graph isomorphism checker, used by the
@@ -28,6 +32,7 @@ pub mod arena;
 pub mod dot;
 pub mod graph;
 pub mod iso;
+pub mod pvec;
 
 pub use arena::{Arena, ArenaId};
 pub use graph::{EdgeId, EdgeRef, Graph, NodeId, NodeRef};

@@ -8,6 +8,7 @@
 
 use crate::scheme::build_scheme;
 use good_core::instance::Instance;
+use good_core::snapshot::SnapshotCell;
 use good_graph::NodeId;
 
 /// Handles into the Figure 17 instance.
@@ -53,6 +54,52 @@ pub fn build_versions_instance() -> (Instance, VersionHandles) {
     )
 }
 
+/// Build the Figure 17 history *as* a history: publish one snapshot
+/// per version step through a [`SnapshotCell`], so the version chain
+/// the paper draws as `Version` nodes is also materialized as MVCC
+/// epochs.
+///
+/// Epoch 0 holds the four target documents plus the original document;
+/// epoch `i` (1..=3) additionally holds documents `0..=i` and the
+/// `i` `Version` nodes chaining them. Because [`Instance`] is
+/// persistent, each retained epoch shares all unchanged structure with
+/// its neighbours — the whole history costs O(total delta), not
+/// O(versions × graph). Time-travel back to any epoch with
+/// [`SnapshotCell::load_at`]; the final epoch is exactly the
+/// [`build_versions_instance`] graph.
+pub fn publish_version_history() -> (SnapshotCell, VersionHandles) {
+    let mut db = Instance::new(build_scheme());
+    let targets: [NodeId; 4] = std::array::from_fn(|_| db.add_object("Info").expect("Info"));
+    let link_sets: [&[usize]; 4] = [&[0, 1], &[0, 1], &[1, 2], &[2, 3]];
+    let add_document = |db: &mut Instance, index: usize| {
+        let info = db.add_object("Info").expect("Info");
+        for &target in link_sets[index] {
+            db.add_edge(info, "links-to", targets[target])
+                .expect("link");
+        }
+        info
+    };
+    let mut documents = vec![add_document(&mut db, 0)];
+    // O(1) publish: the clone shares the whole graph with `db`.
+    let cell = SnapshotCell::new(db.clone());
+    let mut versions = Vec::new();
+    for index in 1..4 {
+        documents.push(add_document(&mut db, index));
+        let version = db.add_object("Version").expect("Version");
+        db.add_edge(version, "old", documents[index - 1])
+            .expect("old");
+        db.add_edge(version, "new", documents[index]).expect("new");
+        versions.push(version);
+        cell.publish(db.clone());
+    }
+    let handles = VersionHandles {
+        documents: documents.try_into().expect("four documents"),
+        versions: versions.try_into().expect("three versions"),
+        targets,
+    };
+    (cell, handles)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +123,50 @@ mod tests {
                 Some(h.documents[index + 1])
             );
         }
+    }
+
+    #[test]
+    fn published_history_serves_every_version_step() {
+        let (cell, h) = publish_version_history();
+        assert_eq!(cell.epoch(), 3);
+        for epoch in 0..=3u64 {
+            let snap = cell.load_at(epoch).expect("epoch retained");
+            let db = snap.instance();
+            db.validate().unwrap();
+            // 4 targets + (epoch + 1) documents + epoch version nodes.
+            let documents = epoch as usize + 1;
+            assert_eq!(db.node_count(), 4 + documents + epoch as usize);
+            // Documents up to this epoch exist; later ones do not.
+            for (index, doc) in h.documents.iter().enumerate() {
+                assert_eq!(db.contains_node(*doc), index < documents);
+            }
+            // The chain built so far is intact at this epoch.
+            for version in h.versions.iter().take(epoch as usize) {
+                assert!(db.functional_target(*version, &"old".into()).is_some());
+                assert!(db.functional_target(*version, &"new".into()).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn published_history_final_epoch_matches_static_build() {
+        let (cell, h) = publish_version_history();
+        let latest = cell.load();
+        let (static_db, static_h) = build_versions_instance();
+        assert_eq!(latest.instance().node_count(), static_db.node_count());
+        assert_eq!(latest.instance().edge_count(), static_db.edge_count());
+        // Same link-set structure (the Figure 18 abstraction input).
+        let links = |db: &Instance, doc| db.target_set(doc, &"links-to".into());
+        for index in 0..4 {
+            assert_eq!(
+                links(latest.instance(), h.documents[index]).len(),
+                links(&static_db, static_h.documents[index]).len()
+            );
+        }
+        assert_eq!(
+            links(latest.instance(), h.documents[0]),
+            links(latest.instance(), h.documents[1])
+        );
     }
 
     #[test]

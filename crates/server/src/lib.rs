@@ -11,7 +11,11 @@
 //!   (`good_core::snapshot`): acquiring a [`Snapshot`] costs one short
 //!   mutex lock plus one `Arc::clone`, and from then on matching,
 //!   `explain`, DOT rendering, and browsing run against a frozen
-//!   immutable graph that no writer can perturb.
+//!   immutable graph that no writer can perturb. Because `Instance`
+//!   is persistent (structurally shared), the cell retains a bounded
+//!   MVCC ring of recent versions: [`Server::snapshot_at`] serves
+//!   time-travel reads against any retained epoch for the cost of a
+//!   few `Arc` bumps.
 //! * **Writes are serialized through one writer thread with
 //!   group-commit.** Sessions enqueue programs onto a bounded queue;
 //!   the writer drains up to a batch at a time, applies the batch
@@ -39,7 +43,7 @@
 use good_core::error::GoodError;
 use good_core::ops::OpReport;
 use good_core::program::Program;
-use good_core::snapshot::{Snapshot, SnapshotCell};
+use good_core::snapshot::{RetentionPolicy, Snapshot, SnapshotCell};
 use good_store::Store;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -61,6 +65,10 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Maximum number of programs the writer commits as one group.
     pub max_batch: usize,
+    /// How many historical snapshot versions the server's MVCC ring
+    /// retains for [`Server::snapshot_at`] time-travel reads (the
+    /// current version is always kept). 0 disables time travel.
+    pub retain_versions: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +76,7 @@ impl Default for ServerConfig {
         ServerConfig {
             queue_capacity: 256,
             max_batch: 32,
+            retain_versions: 64,
         }
     }
 }
@@ -271,7 +280,12 @@ impl Server {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
-            cell: SnapshotCell::new(store.instance().clone()),
+            // Shares the store's own handle: startup publishes epoch 0
+            // with one `Arc` bump, not a graph copy.
+            cell: SnapshotCell::new_shared(
+                store.instance_arc(),
+                RetentionPolicy::versions(config.retain_versions),
+            ),
             config,
         });
         let writer_shared = Arc::clone(&shared);
@@ -314,8 +328,23 @@ impl Server {
     }
 
     /// The current snapshot epoch — one publish per committed batch.
+    /// A single atomic load; never contends with the writer.
     pub fn epoch(&self) -> u64 {
         self.shared.cell.epoch()
+    }
+
+    /// Time-travel read: the snapshot published at exactly `epoch`, if
+    /// the MVCC ring still retains it (see
+    /// [`ServerConfig::retain_versions`]). `None` once the retention
+    /// policy has trimmed that version — though snapshots already
+    /// loaded stay valid forever regardless.
+    pub fn snapshot_at(&self, epoch: u64) -> Option<Snapshot> {
+        self.shared.cell.load_at(epoch)
+    }
+
+    /// The epochs currently retained by the MVCC ring, oldest first.
+    pub fn retained_epochs(&self) -> Vec<u64> {
+        self.shared.cell.retained_epochs()
     }
 
     /// Enqueue `program` for `session`. Returns a ticket redeemable
@@ -419,7 +448,9 @@ fn writer_loop(shared: Arc<Shared>, mut store: Store) -> Store {
             Ok(outcomes) => {
                 let epoch = {
                     let _publish_span = good_trace::span("server", "server/publish");
-                    shared.cell.publish(store.instance().clone())
+                    // Zero-copy publish: the store's committed handle
+                    // is shared into the ring as-is.
+                    shared.cell.publish_arc(store.instance_arc())
                 };
                 batch_span.arg("epoch", epoch);
                 let mut state = shared.lock();

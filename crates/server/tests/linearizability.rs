@@ -22,9 +22,10 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 /// One session's view of its run: commit sequence numbers in
-/// submission order (None = model-rejected), paired with the programs.
+/// submission order (None = model-rejected), paired with the epoch the
+/// commit was published at and the program itself.
 struct SessionRun {
-    committed: Vec<(u64, Program)>,
+    committed: Vec<(u64, u64, Program)>,
     seqs_in_submission_order: Vec<Option<u64>>,
 }
 
@@ -37,6 +38,7 @@ fn run_case(seed: u64, sessions: usize, per_session: usize, max_batch: usize) {
         ServerConfig {
             queue_capacity: sessions * per_session + 1,
             max_batch,
+            ..ServerConfig::default()
         },
     );
     let programs = random_workload(seed, sessions * per_session);
@@ -60,7 +62,7 @@ fn run_case(seed: u64, sessions: usize, per_session: usize, max_batch: usize) {
                             .expect("reliable vfs: submission cannot fail");
                         seqs.push(ack.commit_seq);
                         if let Some(seq) = ack.commit_seq {
-                            committed.push((seq, program));
+                            committed.push((seq, ack.epoch, program));
                         }
                     }
                     SessionRun {
@@ -74,6 +76,13 @@ fn run_case(seed: u64, sessions: usize, per_session: usize, max_batch: usize) {
     });
 
     let final_snapshot = server.snapshot();
+    // Grab every version the MVCC ring still retains before shutdown;
+    // the handles stay valid (and frozen) after it.
+    let retained: Vec<_> = server
+        .retained_epochs()
+        .into_iter()
+        .filter_map(|epoch| server.snapshot_at(epoch))
+        .collect();
     let store = server.shutdown().expect("clean shutdown");
     assert!(
         final_snapshot.instance().isomorphic_to(store.instance()),
@@ -98,9 +107,10 @@ fn run_case(seed: u64, sessions: usize, per_session: usize, max_batch: usize) {
     // The serial witness: every committed program, ordered by the
     // server's reported commit sequence, applied with plain
     // Program::apply to a fresh instance.
-    let mut history: Vec<(u64, Program)> = runs.into_iter().flat_map(|run| run.committed).collect();
-    history.sort_by_key(|(seq, _)| *seq);
-    let seqs: Vec<u64> = history.iter().map(|(seq, _)| *seq).collect();
+    let mut history: Vec<(u64, u64, Program)> =
+        runs.into_iter().flat_map(|run| run.committed).collect();
+    history.sort_by_key(|(seq, _, _)| *seq);
+    let seqs: Vec<u64> = history.iter().map(|(seq, _, _)| *seq).collect();
     assert_eq!(
         seqs,
         (1..=seqs.len() as u64).collect::<Vec<u64>>(),
@@ -108,7 +118,7 @@ fn run_case(seed: u64, sessions: usize, per_session: usize, max_batch: usize) {
     );
     let mut serial = Instance::new(bench_scheme());
     let mut env = Env::with_fuel(DEFAULT_FUEL);
-    for (seq, program) in &history {
+    for (seq, _, program) in &history {
         env.refuel();
         program
             .apply(&mut serial, &mut env)
@@ -119,11 +129,92 @@ fn run_case(seed: u64, sessions: usize, per_session: usize, max_batch: usize) {
         "server result is not the serial order it reported \
          (seed {seed}, {sessions} sessions × {per_session})"
     );
+
+    // MVCC: every retained version must be *bit-identical* to the
+    // serial replay of exactly the commits acked at or below its
+    // epoch — the time-travel reads really are the history's prefixes,
+    // untouched by the publishes (and structural sharing) that came
+    // after them. Epochs are published per batch in commit order, so
+    // ack epochs are nondecreasing along the commit sequence and each
+    // check extends the previous replay.
+    let mut prefix = Instance::new(bench_scheme());
+    let mut replayed = history.iter().peekable();
+    for snapshot in &retained {
+        while let Some((_, epoch, program)) = replayed.peek() {
+            if *epoch > snapshot.epoch {
+                break;
+            }
+            env.refuel();
+            program.apply(&mut prefix, &mut env).expect("prefix replay");
+            replayed.next();
+        }
+        assert_eq!(
+            snapshot.instance().to_dot("mvcc"),
+            prefix.to_dot("mvcc"),
+            "retained epoch {} is not the prefix of the serial history \
+             (seed {seed})",
+            snapshot.epoch
+        );
+    }
 }
 
 #[test]
 fn smoke_two_sessions_interleave_linearizably() {
     run_case(7, 2, 6, 4);
+}
+
+/// A snapshot held at epoch E stays bit-identical to the serial replay
+/// of its prefix even after the retention policy trims E out of the
+/// ring — MVCC handles outlive their ring slots.
+#[test]
+fn held_snapshot_survives_ring_trims_bit_identically() {
+    let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(FaultPlan::reliable(11)));
+    let store =
+        Store::create_with_vfs(vfs, "/linz/db.journal", bench_scheme()).expect("create store");
+    let server = Server::start(
+        store,
+        ServerConfig {
+            queue_capacity: 64,
+            // One commit per batch so epochs align with commits, and a
+            // tight ring so the held epoch is trimmed quickly.
+            max_batch: 1,
+            retain_versions: 2,
+        },
+    );
+    let session = server.open_session();
+    let programs = random_workload(11, 20);
+    let mut committed: Vec<(u64, Program)> = Vec::new();
+    let mut held = None;
+    for program in programs {
+        let ack = server
+            .submit_wait(session, program.clone())
+            .expect("reliable vfs");
+        if ack.commit_seq.is_some() {
+            committed.push((ack.epoch, program));
+        }
+        if held.is_none() && committed.len() == 3 {
+            held = server.snapshot_at(ack.epoch);
+        }
+    }
+    let held = held.expect("three commits out of twenty");
+    // The ring has long since trimmed the held epoch...
+    assert!(server.snapshot_at(held.epoch).is_none());
+    server.shutdown().expect("clean shutdown");
+    // ...but the handle still reads the exact prefix state.
+    let mut prefix = Instance::new(bench_scheme());
+    let mut env = Env::with_fuel(DEFAULT_FUEL);
+    for (epoch, program) in &committed {
+        if *epoch > held.epoch {
+            break;
+        }
+        env.refuel();
+        program.apply(&mut prefix, &mut env).expect("prefix replay");
+    }
+    assert_eq!(
+        held.instance().to_dot("mvcc"),
+        prefix.to_dot("mvcc"),
+        "held snapshot drifted after its ring slot was trimmed"
+    );
 }
 
 proptest! {

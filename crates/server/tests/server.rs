@@ -78,6 +78,7 @@ fn paused_writer_forms_one_batch_and_one_epoch() {
     let (server, _vfs) = start_server(ServerConfig {
         queue_capacity: 16,
         max_batch: 16,
+        ..ServerConfig::default()
     });
     let session = server.open_session();
     server.pause_writer();
@@ -179,6 +180,7 @@ fn queue_full_backpressure_clears_once_the_writer_drains() {
     let (server, _vfs) = start_server(ServerConfig {
         queue_capacity: 2,
         max_batch: 8,
+        ..ServerConfig::default()
     });
     let session = server.open_session();
     server.pause_writer();
@@ -225,6 +227,7 @@ fn concurrent_sessions_preserve_per_session_submission_order() {
     let (server, _vfs) = start_server(ServerConfig {
         queue_capacity: 64,
         max_batch: 4,
+        ..ServerConfig::default()
     });
     let per_session = 8usize;
     let orders: Vec<Vec<u64>> = std::thread::scope(|scope| {

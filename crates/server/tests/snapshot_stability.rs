@@ -77,5 +77,6 @@ fn server_config() -> ServerConfig {
     ServerConfig {
         queue_capacity: 64,
         max_batch: 4,
+        ..ServerConfig::default()
     }
 }

@@ -123,7 +123,7 @@ pub struct Store {
     vfs: Arc<dyn Vfs>,
     path: PathBuf,
     file: Box<dyn VfsFile>,
-    db: Instance,
+    db: Arc<Instance>,
     env: Env,
     /// Registered methods, kept for checkpointing (the Env does not
     /// expose iteration).
@@ -171,7 +171,7 @@ impl Store {
             vfs,
             path,
             file,
-            db,
+            db: Arc::new(db),
             env: Env::with_fuel(DEFAULT_FUEL),
             methods: Vec::new(),
             records: 1,
@@ -260,7 +260,7 @@ impl Store {
             vfs,
             path,
             file,
-            db,
+            db: Arc::new(db),
             env,
             methods,
             records,
@@ -272,6 +272,13 @@ impl Store {
     /// The current instance.
     pub fn instance(&self) -> &Instance {
         &self.db
+    }
+
+    /// The current instance as a shared handle. The store's own copy
+    /// stays live, so publishing this handle (e.g. into a
+    /// `SnapshotCell`) costs one `Arc` bump, zero graph copies.
+    pub fn instance_arc(&self) -> Arc<Instance> {
+        Arc::clone(&self.db)
     }
 
     /// Number of journal records replayed/written in this generation.
@@ -333,11 +340,14 @@ impl Store {
         self.check_poisoned()?;
         let mut execute_span = good_trace::span("store", "store/execute");
         execute_span.arg("ops", program.len());
-        let mut next = self.db.clone();
+        // Cheap: `Instance` is persistent, so this is a handful of
+        // `Arc` bumps, and the mutation below copies only the O(delta
+        // log n) trie nodes it actually touches.
+        let mut next = (*self.db).clone();
         self.env.refuel();
         let report = program.apply(&mut next, &mut self.env)?;
         self.append_durably(&LogRecord::Apply(program.clone()))?;
-        self.db = next;
+        self.db = Arc::new(next);
         self.records += 1;
         execute_span.arg("matchings", report.matchings);
         Ok(report)
@@ -367,7 +377,7 @@ impl Store {
         self.check_poisoned()?;
         let mut group_span = good_trace::span("store", "store/execute_group");
         group_span.arg("programs", programs.len());
-        let mut working = self.db.clone();
+        let mut working = (*self.db).clone();
         let mut outcomes = Vec::with_capacity(programs.len());
         let mut committed: Vec<&Program> = Vec::new();
         for program in programs {
@@ -400,7 +410,7 @@ impl Store {
                 self.records += n + 1;
             }
         }
-        self.db = working;
+        self.db = Arc::new(working);
         Ok(outcomes)
     }
 
@@ -438,7 +448,7 @@ impl Store {
             let mut tmp = self.vfs.create_truncate(&tmp_path)?;
             journal::append_record(
                 tmp.as_mut(),
-                &LogRecord::Snapshot(Box::new(self.db.clone())),
+                &LogRecord::Snapshot(Box::new((*self.db).clone())),
             )?;
             // Methods survive checkpoints: re-log every registration.
             for method in self.methods.iter() {
