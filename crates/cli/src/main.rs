@@ -6,6 +6,8 @@
 //! good-db script.gdb      # run commands from a file
 //! good-db -c "class Info; init; insert Info; stats"
 //! good-db serve --sessions 4   # scripted multi-session server run
+//! good-db serve --listen 127.0.0.1:7411   # TCP wire-protocol server
+//! good-db client 127.0.0.1:7411 --programs 8 --snapshot
 //! ```
 //!
 //! Commands are line-oriented; a line whose braces are unbalanced
@@ -137,6 +139,7 @@ fn serve_exit_code(err: &good_server::ServerError) -> i32 {
 
 /// `good-db serve --sessions N [--programs P] [--seed S]
 /// [--max-batch M] [--queue-capacity Q] [--inject FAILURE]`
+/// `good-db serve --listen ADDR [--max-connections C] [--inflight Q]`
 ///
 /// Scripted multi-session mode: starts an in-process [`Server`] over
 /// an in-memory journal, races N sessions each submitting P programs
@@ -144,6 +147,11 @@ fn serve_exit_code(err: &good_server::ServerError) -> i32 {
 /// and final summary. `--inject` deterministically provokes one of
 /// the submission error paths (`unknown-session`, `after-shutdown`,
 /// `queue-full`) and exits with its distinct code.
+///
+/// With `--listen`, the same server is fronted by the TCP wire
+/// protocol instead: it prints `listening on ADDR`, serves until stdin
+/// closes (or a `quit` line arrives), then drains gracefully —
+/// in-flight submits commit and ack before the summary prints.
 fn run_serve(args: &[String]) -> i32 {
     use good_core::gen::{bench_scheme, random_workload};
     use good_server::{Server, ServerConfig};
@@ -156,6 +164,9 @@ fn run_serve(args: &[String]) -> i32 {
     let mut max_batch = 8usize;
     let mut queue_capacity = 256usize;
     let mut inject: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut max_connections = 1024usize;
+    let mut inflight = 64usize;
 
     let mut rest = args.iter();
     while let Some(flag) = rest.next() {
@@ -185,6 +196,9 @@ fn run_serve(args: &[String]) -> i32 {
             "--max-batch" => parse!(max_batch, "--max-batch"),
             "--queue-capacity" => parse!(queue_capacity, "--queue-capacity"),
             "--inject" => inject = Some(value("--inject")),
+            "--listen" => listen = Some(value("--listen")),
+            "--max-connections" => parse!(max_connections, "--max-connections"),
+            "--inflight" => parse!(inflight, "--inflight"),
             other => {
                 eprintln!("error: unknown serve flag {other:?}");
                 return 1;
@@ -212,6 +226,65 @@ fn run_serve(args: &[String]) -> i32 {
             ..ServerConfig::default()
         },
     );
+
+    // TCP front-end mode: serve the wire protocol until stdin closes,
+    // then drain gracefully.
+    if let Some(addr) = listen {
+        use good_server::net::{NetConfig, NetServer};
+        let listener = match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => listener,
+            Err(err) => {
+                eprintln!("error: cannot bind {addr}: {err}");
+                return 1;
+            }
+        };
+        let net = match NetServer::start(
+            server,
+            listener,
+            NetConfig {
+                max_connections,
+                session_inflight: inflight,
+                ..NetConfig::default()
+            },
+        ) {
+            Ok(net) => net,
+            Err(err) => {
+                eprintln!("error: cannot start network front end: {err}");
+                return 1;
+            }
+        };
+        // The bound address (with the OS-assigned port when the caller
+        // asked for :0) goes to stdout so scripts can connect.
+        println!("listening on {}", net.local_addr());
+        std::io::stdout().flush().expect("flush stdout");
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) => break, // EOF: controlling script is done
+                Ok(_) if matches!(line.trim(), "quit" | "drain" | "exit") => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+        let served = net.total_accepted();
+        match net.shutdown() {
+            Ok(store) => {
+                println!(
+                    "drained: {} connections served, final instance {} nodes, {} edges",
+                    served,
+                    store.instance().node_count(),
+                    store.instance().edge_count()
+                );
+                return 0;
+            }
+            Err(err) => {
+                eprintln!("error: drain failed: {err}");
+                return serve_exit_code(&err);
+            }
+        }
+    }
 
     // Deterministic error-path injection: provoke exactly one
     // submission failure and exit with its dedicated code.
@@ -332,6 +405,158 @@ fn run_serve(args: &[String]) -> i32 {
     }
 }
 
+/// Map a client-side failure to the `client` subcommand's exit code:
+/// typed server refusals mirror the serve codes (2 = unknown session,
+/// 3 = shutdown) and extend them (4 = queue-full, 5 = quota, 6 =
+/// overloaded); everything else — transport failures, protocol
+/// violations, bad requests — is 1.
+fn client_exit_code(err: &good_server::client::ClientError) -> i32 {
+    use good_server::client::ClientError;
+    use good_server::proto::ErrCode;
+    match err {
+        ClientError::Rejected { code, .. } => match code {
+            ErrCode::UnknownSession => 2,
+            ErrCode::Shutdown => 3,
+            ErrCode::QueueFull => 4,
+            ErrCode::QuotaExceeded => 5,
+            ErrCode::Overloaded => 6,
+            ErrCode::BadRequest | ErrCode::Store => 1,
+        },
+        _ => 1,
+    }
+}
+
+/// `good-db client ADDR [--programs N] [--seed S] [--retries R]
+/// [--query PATTERN] [--snapshot] [--dot]`
+///
+/// Scripted wire-protocol client: connects, submits N programs of the
+/// deterministic `random_workload` (riding out retryable refusals up
+/// to R times each), optionally runs a pattern query and a snapshot
+/// read, then says goodbye. Prints one line per acknowledgement.
+fn run_client(args: &[String]) -> i32 {
+    use good_core::gen::random_workload;
+    use good_server::client::Client;
+
+    let mut rest = args.iter();
+    let Some(addr) = rest.next() else {
+        eprintln!("error: client requires a server address (host:port)");
+        return 1;
+    };
+    let mut programs = 4usize;
+    let mut seed = 42u64;
+    let mut retries = 16usize;
+    let mut query: Option<String> = None;
+    let mut snapshot = false;
+    let mut dot = false;
+    while let Some(flag) = rest.next() {
+        let mut value = |name: &str| match rest.next() {
+            Some(value) => value.clone(),
+            None => {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(1);
+            }
+        };
+        macro_rules! parse {
+            ($target:ident, $name:literal) => {{
+                let raw = value($name);
+                match raw.parse() {
+                    Ok(parsed) => $target = parsed,
+                    Err(_) => {
+                        eprintln!("error: bad value for {}: {raw:?}", $name);
+                        return 1;
+                    }
+                }
+            }};
+        }
+        match flag.as_str() {
+            "--programs" => parse!(programs, "--programs"),
+            "--seed" => parse!(seed, "--seed"),
+            "--retries" => parse!(retries, "--retries"),
+            "--query" => query = Some(value("--query")),
+            "--snapshot" => snapshot = true,
+            "--dot" => dot = true,
+            other => {
+                eprintln!("error: unknown client flag {other:?}");
+                return 1;
+            }
+        }
+    }
+
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return client_exit_code(&err);
+        }
+    };
+    println!("connected: session {}", client.session());
+    let (mut committed, mut rejected) = (0usize, 0usize);
+    for program in random_workload(seed, programs) {
+        match client.submit_wait_retrying(&program, retries) {
+            Ok(ack) => match (ack.commit_seq, ack.outcome) {
+                (Some(seq), Ok(report)) => {
+                    committed += 1;
+                    println!("commit {seq} @ epoch {}: {report}", ack.epoch);
+                }
+                (_, outcome) => {
+                    rejected += 1;
+                    println!(
+                        "rejected @ epoch {}: {}",
+                        ack.epoch,
+                        outcome.err().unwrap_or_else(|| "unknown".into())
+                    );
+                }
+            },
+            Err(err) => {
+                eprintln!("error: {err}");
+                return client_exit_code(&err);
+            }
+        }
+    }
+    println!("{committed} committed, {rejected} rejected");
+    if let Some(pattern) = query {
+        match client.query(&pattern, None) {
+            Ok((epoch, columns, rows)) => {
+                println!("query @ epoch {epoch}: {} row(s)", rows.len());
+                for row in rows {
+                    let cells: Vec<String> = columns
+                        .iter()
+                        .zip(&row)
+                        .map(|(name, cell)| format!("{name}={cell}"))
+                        .collect();
+                    println!("  {}", cells.join(", "));
+                }
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                return client_exit_code(&err);
+            }
+        }
+    }
+    if snapshot || dot {
+        match client.snapshot(None, dot) {
+            Ok(info) => {
+                println!(
+                    "snapshot @ epoch {}: {} nodes, {} edges",
+                    info.epoch, info.nodes, info.edges
+                );
+                if let Some(dot) = info.dot {
+                    print!("{dot}");
+                }
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                return client_exit_code(&err);
+            }
+        }
+    }
+    if let Err(err) = client.goodbye() {
+        eprintln!("error: {err}");
+        return client_exit_code(&err);
+    }
+    0
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -442,9 +667,15 @@ fn main() {
         finish(&profiler, 0);
     }
 
-    // `serve` scripted multi-session mode.
+    // `serve` scripted multi-session mode (or TCP mode via --listen).
     if args.first().map(String::as_str) == Some("serve") {
         let code = run_serve(&args[1..]);
+        finish(&profiler, code);
+    }
+
+    // `client` wire-protocol mode.
+    if args.first().map(String::as_str) == Some("client") {
+        let code = run_client(&args[1..]);
         finish(&profiler, code);
     }
 

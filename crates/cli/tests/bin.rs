@@ -439,3 +439,121 @@ fn serve_rejects_unknown_flags_and_injections() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("unknown --inject"), "{stderr}");
 }
+
+// ------------------------------------------------------- TCP serve + client
+
+/// Spawn `serve --listen 127.0.0.1:0` and return the child plus the
+/// OS-assigned address parsed from its first stdout line.
+fn spawn_listener(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    let mut child = binary()
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    // Reattach for later draining of the summary.
+    child.stdout = Some(reader.into_inner());
+    (child, addr)
+}
+
+/// Tell a listener to drain and collect its exit.
+fn drain_listener(mut child: std::process::Child) -> std::process::Output {
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(b"quit\n")
+        .expect("request drain");
+    child.wait_with_output().expect("serve exits")
+}
+
+#[test]
+fn serve_listen_and_client_roundtrip_over_tcp() {
+    let (server, addr) = spawn_listener(&[]);
+    let client = binary()
+        .args([
+            "client",
+            &addr,
+            "--programs",
+            "3",
+            "--seed",
+            "7",
+            "--snapshot",
+        ])
+        .output()
+        .expect("client runs");
+    assert!(client.status.success(), "{client:?}");
+    let stdout = String::from_utf8_lossy(&client.stdout);
+    assert!(stdout.contains("connected: session 1"), "{stdout}");
+    assert!(stdout.contains("commit 1 @ epoch"), "{stdout}");
+    assert!(stdout.contains("3 committed, 0 rejected"), "{stdout}");
+    assert!(stdout.contains("snapshot @ epoch"), "{stdout}");
+
+    let output = drain_listener(server);
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("drained: 1 connections served"), "{stdout}");
+}
+
+#[test]
+fn client_query_and_dot_over_tcp() {
+    let (server, addr) = spawn_listener(&[]);
+    // Two sequential clients share one server: the second sees the
+    // first's commits and renders the final DOT.
+    let first = binary()
+        .args(["client", &addr, "--programs", "2", "--seed", "11"])
+        .output()
+        .expect("client runs");
+    assert!(first.status.success(), "{first:?}");
+    let second = binary()
+        .args(["client", &addr, "--programs", "0", "--dot"])
+        .output()
+        .expect("client runs");
+    assert!(second.status.success(), "{second:?}");
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(stdout.contains("connected: session 2"), "{stdout}");
+    assert!(stdout.contains("digraph"), "{stdout}");
+
+    let output = drain_listener(server);
+    assert!(output.status.success(), "{output:?}");
+}
+
+#[test]
+fn client_against_no_server_exits_1() {
+    // Port 1 on loopback is essentially never listening.
+    let output = binary()
+        .args(["client", "127.0.0.1:1"])
+        .output()
+        .expect("client runs");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("i/o failure"), "{stderr}");
+}
+
+#[test]
+fn serve_listen_drains_in_flight_commits_before_exit() {
+    let (server, addr) = spawn_listener(&[]);
+    let client = binary()
+        .args(["client", &addr, "--programs", "5", "--seed", "3"])
+        .output()
+        .expect("client runs");
+    assert!(client.status.success(), "{client:?}");
+    let output = drain_listener(server);
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The drain summary reports the committed state, proving the
+    // journal held the acked prefix at exit.
+    assert!(stdout.contains("final instance"), "{stdout}");
+}

@@ -40,6 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod net;
+pub mod proto;
+
 use good_core::error::GoodError;
 use good_core::ops::OpReport;
 use good_core::program::Program;
@@ -321,6 +325,18 @@ impl Server {
         }
     }
 
+    /// Number of currently open sessions — the network front end's
+    /// leak detector: every disconnect must drive this back down.
+    pub fn session_count(&self) -> usize {
+        self.shared.lock().sessions.len()
+    }
+
+    /// Programs currently queued for the writer (admission-control
+    /// signal; the published `server/queue_depth` gauge's source).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
     /// Acquire the current committed snapshot (lock-free reads from
     /// then on; see [`SnapshotCell`]).
     pub fn snapshot(&self) -> Snapshot {
@@ -389,6 +405,16 @@ impl Server {
     /// Shut down: stop accepting new programs, let the writer drain
     /// everything already queued, join it, and hand back the store.
     pub fn shutdown(self) -> Result<Store, ServerError> {
+        self.shutdown_impl()
+    }
+
+    /// [`Server::shutdown`] through a shared reference, for owners
+    /// that hold the server behind an `Arc` (the network front end):
+    /// drains the queue, joins the writer, returns the store. Every
+    /// accepted ticket has its completion posted before this returns,
+    /// so pending [`Server::wait`] calls cannot block forever. A
+    /// second call returns [`ServerError::Shutdown`].
+    pub fn drain_shutdown(&self) -> Result<Store, ServerError> {
         self.shutdown_impl()
     }
 
