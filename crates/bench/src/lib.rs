@@ -53,6 +53,55 @@ pub fn chain_pattern(length: usize) -> (Pattern, Vec<NodeId>) {
     (pattern, nodes)
 }
 
+/// A triangle pattern: three Info nodes in a directed 3-cycle of
+/// `links-to` edges; returns `(pattern, nodes)`.
+pub fn triangle_pattern() -> (Pattern, [NodeId; 3]) {
+    let mut pattern = Pattern::new();
+    let a = pattern.node("Info");
+    let b = pattern.node("Info");
+    let c = pattern.node("Info");
+    pattern.edge(a, "links-to", b);
+    pattern.edge(b, "links-to", c);
+    pattern.edge(c, "links-to", a);
+    (pattern, [a, b, c])
+}
+
+/// A hub-and-spoke instance shaped to punish materializing binary
+/// joins on cyclic patterns (the E18 planner benchmark): `spokes` Info
+/// objects each link to two of `hubs` hub Infos and are linked back by
+/// two others, and the hubs form directed 3-cycles among themselves.
+/// A triangle query's middle join therefore materializes roughly
+/// `spokes * 2 * (2 * spokes / hubs)` open wedge rows before the
+/// closing edge filters nearly all of them out, while a worst-case-
+/// optimal join only touches rows that can still close.
+pub fn hub_instance(spokes: usize, hubs: usize) -> Instance {
+    assert!(
+        hubs >= 3 && hubs.is_multiple_of(3),
+        "hubs must be a positive multiple of 3"
+    );
+    let mut db = Instance::new(good_core::gen::bench_scheme());
+    let hub_ids: Vec<NodeId> = (0..hubs)
+        .map(|_| db.add_object("Info").expect("Info"))
+        .collect();
+    for triple in hub_ids.chunks(3) {
+        db.add_edge(triple[0], "links-to", triple[1]).expect("edge");
+        db.add_edge(triple[1], "links-to", triple[2]).expect("edge");
+        db.add_edge(triple[2], "links-to", triple[0]).expect("edge");
+    }
+    for spoke_index in 0..spokes {
+        let spoke = db.add_object("Info").expect("Info");
+        db.add_edge(spoke, "links-to", hub_ids[spoke_index % hubs])
+            .expect("edge");
+        db.add_edge(spoke, "links-to", hub_ids[(spoke_index + 5) % hubs])
+            .expect("edge");
+        db.add_edge(hub_ids[(spoke_index + 3) % hubs], "links-to", spoke)
+            .expect("edge");
+        db.add_edge(hub_ids[(spoke_index + 7) % hubs], "links-to", spoke)
+            .expect("edge");
+    }
+    db
+}
+
 /// The Figure 4-shaped pattern: a named Info linking to another.
 pub fn anchored_pattern(name: &str) -> (Pattern, NodeId, NodeId) {
     let mut pattern = Pattern::new();
@@ -183,6 +232,20 @@ mod tests {
         instance_of(100).validate().unwrap();
         grouped_instance(5, 4).validate().unwrap();
         chain_instance(20).validate().unwrap();
+        hub_instance(60, 12).validate().unwrap();
+    }
+
+    #[test]
+    fn hub_instance_has_triangles_and_all_engines_agree() {
+        use good_core::prelude::*;
+        let db = hub_instance(60, 12);
+        let (pattern, _) = triangle_pattern();
+        let planned = find_matchings(&pattern, &db).unwrap();
+        let wcoj = find_matchings_wcoj(&pattern, &db).unwrap();
+        let binary = find_matchings_binary(&pattern, &db).unwrap();
+        assert!(!planned.is_empty(), "hub instance must contain triangles");
+        assert_eq!(planned, wcoj);
+        assert_eq!(planned, binary);
     }
 
     #[test]

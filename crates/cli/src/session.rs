@@ -30,7 +30,7 @@ use good_core::error::GoodError;
 use good_core::instance::Instance;
 use good_core::label::Label;
 use good_core::matching::{
-    default_threads, explain_plan, find_matchings, set_default_threads, MatchConfig,
+    default_threads, explain_plan_profiled, find_matchings, set_default_threads, MatchConfig,
 };
 use good_core::ops::{Abstraction, EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion};
 use good_core::program::Env;
@@ -298,11 +298,11 @@ impl Session {
     }
 
     /// `explain { pattern }` — print the access plan the matcher would
-    /// run, without executing it.
+    /// run, executed once to annotate each step with actual row counts.
     fn cmd_explain(&mut self, rest: &str) -> Result<String> {
         let (pattern, names) = parse_pattern(rest)?;
         let db = self.db_ref()?;
-        let plan = explain_plan(&pattern, db, MatchConfig::default())?;
+        let plan = explain_plan_profiled(&pattern, db, MatchConfig::default())?;
         let by_node: BTreeMap<NodeId, &String> =
             names.iter().map(|(name, node)| (*node, name)).collect();
         Ok(plan.render_with(|node| by_node.get(&node).map(|name| name.to_string())))
@@ -468,6 +468,22 @@ impl Session {
         classes.sort_by_key(|(label, _)| label.as_str().to_string());
         for (label, count) in classes {
             writeln!(out, "  {label}: {count}").expect("write");
+        }
+        let triples = db.stats().triples_sorted();
+        if !triples.is_empty() {
+            writeln!(out, "planner statistics ({} edge triples):", triples.len()).expect("write");
+            for (src, edge, dst, stats) in triples {
+                writeln!(
+                    out,
+                    "  {src} -{edge}-> {dst}: {} edges, {} sources (max out <= {}), {} targets (max in <= {})",
+                    stats.edges,
+                    stats.distinct_sources(),
+                    stats.out_degrees.max_degree_bound(),
+                    stats.distinct_targets(),
+                    stats.in_degrees.max_degree_bound(),
+                )
+                .expect("write");
+            }
         }
         // With a recorder installed (e.g. under --profile), append the
         // runtime metrics accumulated so far.
@@ -682,6 +698,10 @@ mod tests {
         assert!(out.contains("bind i [Info]"), "{out}");
         assert!(out.contains("root candidates:"), "{out}");
         assert!(out.contains("sequential"), "{out}");
+        // The session explain executes the plan, so every step carries
+        // an actual row count next to its estimate.
+        assert!(out.contains("actual 1 rows"), "{out}");
+        assert!(out.contains("strategy: expand"), "{out}");
         // Without an open base it errors like the other query commands.
         let mut fresh = Session::new();
         fresh.execute("class Info").unwrap();
@@ -691,7 +711,18 @@ mod tests {
     #[test]
     fn stats_appends_metrics_only_when_tracing() {
         let mut session = bootstrapped();
-        assert!(!session.execute("stats").unwrap().contains("metrics:"));
+        let out = session.execute("stats").unwrap();
+        assert!(!out.contains("metrics:"));
+        assert!(
+            out.contains("planner statistics (3 edge triples):"),
+            "{out}"
+        );
+        assert!(
+            out.contains(
+                "Info -links-to-> Info: 1 edges, 1 sources (max out <= 1), 1 targets (max in <= 1)"
+            ),
+            "{out}"
+        );
     }
 
     #[test]

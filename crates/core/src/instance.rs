@@ -19,6 +19,7 @@ use crate::error::{GoodError, Result};
 use crate::label::{EdgeKind, Label, NodeKind};
 use crate::persist::{PMap, PSet, SharedMap};
 use crate::scheme::Scheme;
+use crate::stats::InstanceStats;
 use crate::value::Value;
 use good_graph::dot::{DotEdge, DotNode};
 use good_graph::{EdgeId, Graph, NodeId};
@@ -309,6 +310,9 @@ pub struct Instance {
     printable_index: SharedMap<Label, PMap<Value, NodeId>>,
     /// (node label, edge label) → postings, for the matcher.
     adjacency: AdjacencyIndex,
+    /// Per-triple cardinality statistics for the planner, maintained
+    /// incrementally alongside the adjacency index.
+    stats: InstanceStats,
 }
 
 /// Serialized form: scheme + graph; indexes are rebuilt on load.
@@ -343,6 +347,7 @@ impl Instance {
             label_index: SharedMap::new(),
             printable_index: SharedMap::new(),
             adjacency: AdjacencyIndex::default(),
+            stats: InstanceStats::default(),
         }
     }
 
@@ -353,6 +358,7 @@ impl Instance {
     /// payload clones, no id buffering.
     pub fn from_parts(scheme: Scheme, graph: Graph<NodeData, EdgeData>) -> Result<Self> {
         let adjacency = AdjacencyIndex::build(&graph);
+        let stats = InstanceStats::build(&graph);
         let mut label_index: SharedMap<Label, PSet<NodeId>> = SharedMap::new();
         let mut printable_index: SharedMap<Label, PMap<Value, NodeId>> = SharedMap::new();
         for node in graph.nodes() {
@@ -378,6 +384,7 @@ impl Instance {
             label_index,
             printable_index,
             adjacency,
+            stats,
         };
         // Content must be audited on every load (the bytes are
         // untrusted), but the derived indexes were built three lines up
@@ -417,6 +424,7 @@ impl Instance {
                 })
                 .collect(),
             adjacency: self.adjacency.deep_clone(),
+            stats: self.stats.deep_clone(),
         }
     }
 
@@ -439,6 +447,7 @@ impl Instance {
                 .map(PMap::approx_bytes)
                 .sum::<usize>()
             + self.adjacency.approx_bytes()
+            + self.stats.approx_bytes()
     }
 
     // ---- accessors --------------------------------------------------------
@@ -612,6 +621,20 @@ impl Instance {
         nested_get(&self.adjacency.in_support, label, edge)
     }
 
+    /// Per-triple cardinality statistics (edge counts and degree
+    /// histograms per `(source label, edge label, target label)`),
+    /// maintained incrementally — probing them never scans the graph.
+    #[inline]
+    pub fn stats(&self) -> &InstanceStats {
+        &self.stats
+    }
+
+    /// Number of distinct print values currently held under a printable
+    /// label — the planner's domain size for value-anchored probes.
+    pub fn printable_value_count(&self, label: &Label) -> usize {
+        self.printable_index.get(label).map_or(0, PMap::len)
+    }
+
     /// The id of the edge `(src, λ, dst)`, if present.
     pub fn edge_between(&self, src: NodeId, label: &Label, dst: NodeId) -> Option<EdgeId> {
         self.graph
@@ -758,6 +781,17 @@ impl Instance {
         );
         self.adjacency
             .insert(src, &src_data.label, &label, dst, &dst_data.label);
+        // Post-insert degrees of the touched endpoints, restricted to
+        // this triple's shape, read off the adjacency index in O(1) —
+        // no scan. The old degrees are one less by construction.
+        let new_out = self
+            .indexed_targets(&dst_data.label, &label, src)
+            .map_or(0, PSet::len) as u64;
+        let new_in = self
+            .indexed_sources(&src_data.label, &label, dst)
+            .map_or(0, PSet::len) as u64;
+        self.stats
+            .record_added(&src_data.label, &label, &dst_data.label, new_out, new_in);
         Ok(id)
     }
 
@@ -846,6 +880,7 @@ impl Instance {
                 .filter(|node| self.remove_node_untracked(*node))
                 .count();
             self.adjacency = AdjacencyIndex::build(&self.graph);
+            self.stats = InstanceStats::build(&self.graph);
             removed
         } else {
             good_trace::counter_add("instance.node_del.incremental", 1);
@@ -898,6 +933,18 @@ impl Instance {
             src_has_out,
             dst_has_in,
         );
+        // Post-removal degrees read off the just-updated adjacency
+        // index (the old degrees are one more); this stays O(1) even
+        // when an endpoint is already dead, because the postings —
+        // not the graph — are the source of truth here.
+        let new_out = self
+            .indexed_targets(dst_label, edge_label, src)
+            .map_or(0, PSet::len) as u64;
+        let new_in = self
+            .indexed_sources(src_label, edge_label, dst)
+            .map_or(0, PSet::len) as u64;
+        self.stats
+            .record_removed(src_label, edge_label, dst_label, new_out, new_in);
     }
 
     /// Delete the edge `(src, λ, dst)` if present.
@@ -938,6 +985,7 @@ impl Instance {
                 .filter(|edge| self.graph.remove_edge(*edge).is_some())
                 .count();
             self.adjacency = AdjacencyIndex::build(&self.graph);
+            self.stats = InstanceStats::build(&self.graph);
             removed
         } else {
             good_trace::counter_add("instance.edge_del.incremental", 1);
@@ -1115,6 +1163,13 @@ impl Instance {
         if rebuilt != self.adjacency {
             return Err(GoodError::InvariantViolation(
                 "adjacency index out of sync with graph".into(),
+            ));
+        }
+        // Planner statistics obey the same contract: the incremental
+        // figures must equal a from-scratch rebuild, exactly.
+        if InstanceStats::build(&self.graph) != self.stats {
+            return Err(GoodError::InvariantViolation(
+                "planner statistics out of sync with graph".into(),
             ));
         }
         Ok(())

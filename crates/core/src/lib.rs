@@ -45,12 +45,15 @@ pub mod method;
 pub mod ops;
 pub mod pattern;
 pub mod persist;
+pub mod planner;
 pub mod program;
 pub mod rules;
 pub mod scheme;
 pub mod snapshot;
+pub mod stats;
 pub mod textual;
 pub mod value;
+pub mod wcoj;
 
 /// Commonly used types, for `use good_core::prelude::*`.
 pub mod prelude {
@@ -58,16 +61,19 @@ pub mod prelude {
     pub use crate::instance::Instance;
     pub use crate::label::{EdgeKind, Label, NodeKind};
     pub use crate::matching::{
-        default_threads, explain_plan, find_matchings, find_matchings_with, set_default_threads,
-        MatchConfig, Matching, Plan, PlanStep,
+        default_threads, explain_plan, explain_plan_profiled, find_matchings, find_matchings_with,
+        set_default_threads, MatchConfig, Matching, Plan, PlanStep,
     };
     pub use crate::method::{Method, MethodCall, MethodSpec};
     pub use crate::ops::{Abstraction, EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion};
     pub use crate::pattern::{Pattern, ValuePredicate};
+    pub use crate::planner::{find_matchings_binary, plan, JoinStrategy, PlanChoice};
     pub use crate::program::{Env, Operation, Program};
     pub use crate::rules::{Rule, RuleSet};
     pub use crate::scheme::{Scheme, SchemeBuilder};
     pub use crate::snapshot::{Snapshot, SnapshotCell};
+    pub use crate::stats::{DegreeHistogram, InstanceStats, TripleStats};
     pub use crate::textual::{format_pattern, parse_pattern};
     pub use crate::value::{Date, Value, ValueType};
+    pub use crate::wcoj::find_matchings_wcoj;
 }

@@ -29,6 +29,8 @@ use crate::instance::Instance;
 use crate::label::Label;
 use crate::pattern::{Pattern, PatternNode, PatternNodeKind};
 use crate::persist::PSet;
+use crate::planner::{self, JoinStrategy};
+use crate::wcoj;
 use good_graph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -204,7 +206,7 @@ impl Frame {
 
 /// Does the instance node `candidate` satisfy `node`'s local constraints
 /// (label, print value, predicate)?
-fn node_compatible(instance: &Instance, node: &PatternNode, candidate: NodeId) -> bool {
+pub(crate) fn node_compatible(instance: &Instance, node: &PatternNode, candidate: NodeId) -> bool {
     let PatternNodeKind::Class(label) = &node.kind else {
         return false;
     };
@@ -586,11 +588,13 @@ impl<'a> Search<'a> {
     }
 
     /// Enumerate every matching of this search's (positive) pattern,
-    /// unsorted. Splits the root node's candidate list into morsels
-    /// claimed by worker threads via an atomic cursor when the list is
-    /// large enough; the caller's canonical sort makes the merged result
+    /// unsorted. The root node — the cost-based planner's choice when
+    /// `root_override` is given, the most-constrained node otherwise —
+    /// seeds the search; splits its candidate list into morsels claimed
+    /// by worker threads via an atomic cursor when the list is large
+    /// enough; the caller's canonical sort makes the merged result
     /// independent of scheduling.
-    fn enumerate(&self, config: MatchConfig) -> Vec<Matching> {
+    fn enumerate(&self, config: MatchConfig, root_override: Option<NodeId>) -> Vec<Matching> {
         let threads = config.resolved_threads();
         if self.nodes.is_empty() {
             // The empty pattern has exactly one (empty) matching.
@@ -599,7 +603,9 @@ impl<'a> Search<'a> {
         let empty = self.frame();
         let (root, root_candidates) = {
             let mut plan_span = good_trace::span("match", "match/plan");
-            let root = self.most_constrained(&empty).expect("non-empty pattern");
+            let root = root_override
+                .filter(|n| self.nodes.contains(n))
+                .unwrap_or_else(|| self.most_constrained(&empty).expect("non-empty pattern"));
             let root_candidates = self.candidates(root, &empty);
             plan_span.arg("root_candidates", root_candidates.len());
             (root, root_candidates)
@@ -681,7 +687,7 @@ impl<'a> Search<'a> {
 
 /// Can `matching` (over the positive part) be extended to a matching of
 /// the complete (unnegated) pattern?
-fn extends_to_full(pattern: &Pattern, instance: &Instance, matching: &Matching) -> bool {
+pub(crate) fn extends_to_full(pattern: &Pattern, instance: &Instance, matching: &Matching) -> bool {
     let full = pattern.unnegated();
     let nodes: Vec<NodeId> = full.graph().node_ids().collect();
     let search = Search {
@@ -770,12 +776,25 @@ pub fn find_matchings_with(
     let positive = pattern.positive_part();
     let nodes: Vec<NodeId> = positive.graph().node_ids().collect();
     let pattern_nodes = nodes.len();
-    let search = Search {
-        pattern: &positive,
-        instance,
-        nodes,
+    // Cost-based planning: rank binding orders on the incrementally
+    // maintained statistics and pick the evaluation strategy. Pure
+    // arithmetic over per-edge scalars — cheap enough for point queries.
+    let choice = planner::plan(&positive, instance);
+    let mut results = match choice.strategy {
+        JoinStrategy::GenericJoin => {
+            good_trace::counter_add("planner.wcoj", 1);
+            wcoj::enumerate_generic(&positive, instance, &choice.order, None)
+        }
+        JoinStrategy::Expand => {
+            good_trace::counter_add("planner.expand", 1);
+            let search = Search {
+                pattern: &positive,
+                instance,
+                nodes,
+            };
+            search.enumerate(config, choice.order.first().copied())
+        }
     };
-    let mut results = search.enumerate(config);
     results.sort();
     results.dedup();
 
@@ -787,6 +806,8 @@ pub fn find_matchings_with(
         find_span.arg("pattern_nodes", pattern_nodes);
         find_span.arg("matchings", results.len());
         find_span.arg("negation", pattern.has_negation());
+        find_span.arg("strategy", choice.strategy.name());
+        find_span.arg("est_rows", choice.est_rows);
         good_trace::counter_add("match.calls", 1);
         good_trace::counter_add(
             "match.negation_filtered",
@@ -812,19 +833,26 @@ pub struct PlanStep {
     /// Human description of the access path (printable probe, index
     /// probe, support intersection, or label extent scan).
     pub access: String,
-    /// Cold cardinality estimate for this step's candidate list (the
-    /// same O(1) figures most-constrained-node selection uses).
+    /// Estimated candidates scanned per partial row at this step (the
+    /// cost model's scan width, rounded).
     pub estimate: usize,
+    /// Estimated partial matchings alive after this step, from the
+    /// cost-based planner's cardinality propagation.
+    pub est_rows: f64,
+    /// Actual partial matchings that survived this step — filled by
+    /// [`explain_plan_profiled`], `None` on unprofiled plans.
+    pub actual_rows: Option<u64>,
 }
 
 /// A static description of the plan [`find_matchings_with`] would run
 /// for a pattern against an instance — produced by [`explain_plan`]
-/// without executing the search.
+/// without executing the search, or by [`explain_plan_profiled`] with
+/// per-step actual row counts.
 #[derive(Debug, Clone)]
 pub struct Plan {
-    /// Binding steps in planned order. The first step is exactly the
-    /// root the real search picks; later steps use cold estimates
-    /// (the live search re-ranks under actual bindings).
+    /// Binding steps in the cost-based planner's order — the exact
+    /// order the generic-join path executes, and the root (plus cold
+    /// ranking) of the expand path.
     pub steps: Vec<PlanStep>,
     /// Exact candidate count for the root node.
     pub root_candidates: usize,
@@ -839,6 +867,17 @@ pub struct Plan {
     /// Whether matchings are post-filtered by the negation extension
     /// check.
     pub negation: bool,
+    /// The planner's evaluation strategy decision.
+    pub strategy: JoinStrategy,
+    /// Whether the positive pattern contains a (non-self-loop) cycle.
+    pub cyclic: bool,
+    /// Estimated final matching count.
+    pub est_rows: f64,
+    /// Estimated total cost (Σ rows-before × scan width).
+    pub est_cost: f64,
+    /// Final matching count measured by [`explain_plan_profiled`]
+    /// (after the negation post-filter), `None` on unprofiled plans.
+    pub actual_matchings: Option<usize>,
 }
 
 impl Plan {
@@ -863,14 +902,30 @@ impl Plan {
         ));
         for (index, step) in self.steps.iter().enumerate() {
             let display = name(step.node).unwrap_or_else(|| format!("n{}", step.node.index()));
+            let actual = match step.actual_rows {
+                Some(rows) => format!(", actual {rows} rows"),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "  {}. bind {display} [{}] via {}  (est. {})\n",
+                "  {}. bind {display} [{}] via {}  (est. {}, ~{:.0} rows{actual})\n",
                 index + 1,
                 step.label,
                 step.access,
-                step.estimate
+                step.estimate,
+                step.est_rows,
             ));
         }
+        let cyclic = if self.cyclic { "cyclic" } else { "acyclic" };
+        out.push_str(&format!(
+            "strategy: {} ({cyclic}, est. cost {:.0}, est. {:.0} matchings{})\n",
+            self.strategy.name(),
+            self.est_cost,
+            self.est_rows,
+            match self.actual_matchings {
+                Some(count) => format!(", actual {count}"),
+                None => String::new(),
+            },
+        ));
         if self.parallel {
             out.push_str(&format!(
                 "root candidates: {} -> morsel-parallel ({} threads, morsel {}, threshold {})\n",
@@ -887,14 +942,34 @@ impl Plan {
 }
 
 /// Describe, without running it, the plan [`find_matchings_with`] would
-/// choose for `pattern` against `instance` under `config`: the binding
-/// order with per-step access paths and cold cardinality estimates,
-/// the exact root candidate count, and the sequential-vs-morsel
-/// decision. The root step is exactly the one the live search picks
-/// (both rank the same O(1) estimates against an empty binding);
-/// later steps are cold-ranked, whereas the live search re-ranks after
-/// every binding.
+/// choose for `pattern` against `instance` under `config`: the
+/// cost-based binding order with per-step access paths and cardinality
+/// estimates, the expand-vs-generic-join strategy decision, the exact
+/// root candidate count, and the sequential-vs-morsel decision.
 pub fn explain_plan(pattern: &Pattern, instance: &Instance, config: MatchConfig) -> Result<Plan> {
+    explain(pattern, instance, config, false)
+}
+
+/// [`explain_plan`] plus execution: runs the planned order once,
+/// filling each step's `actual_rows` with the number of partial
+/// matchings that survived it and the plan's `actual_matchings` with
+/// the final (negation-filtered) count, so per-step estimate error is
+/// visible. Observes the estimate error into the
+/// `match.plan.est_error_pct` trace histogram when tracing is live.
+pub fn explain_plan_profiled(
+    pattern: &Pattern,
+    instance: &Instance,
+    config: MatchConfig,
+) -> Result<Plan> {
+    explain(pattern, instance, config, true)
+}
+
+fn explain(
+    pattern: &Pattern,
+    instance: &Instance,
+    config: MatchConfig,
+    profile: bool,
+) -> Result<Plan> {
     if pattern.has_method_head() {
         return Err(GoodError::InvalidPattern(
             "patterns with method-head nodes must be rewritten by a method call before matching"
@@ -907,20 +982,38 @@ pub fn explain_plan(pattern: &Pattern, instance: &Instance, config: MatchConfig)
     let search = Search {
         pattern: &positive,
         instance,
-        nodes: nodes.clone(),
+        nodes,
     };
     let empty = search.frame();
     let threads = config.resolved_threads();
+    let choice = planner::plan(&positive, instance);
+
+    // Profile: execute the planned order once, counting the partial
+    // matchings that survive each depth. The generic enumerator walks
+    // exactly the planned static order, so its per-depth counts are the
+    // per-step actuals for both strategies.
+    let (actuals, actual_matchings) = if profile {
+        let mut span = good_trace::span("match", "match/explain");
+        let mut counts = vec![0u64; choice.order.len()];
+        let mut results =
+            wcoj::enumerate_generic(&positive, instance, &choice.order, Some(&mut counts));
+        results.sort();
+        results.dedup();
+        if pattern.has_negation() {
+            results.retain(|m| !extends_to_full(pattern, instance, m));
+        }
+        span.arg("matchings", results.len());
+        span.arg("strategy", choice.strategy.name());
+        (Some(counts), Some(results.len()))
+    } else {
+        (None, None)
+    };
+
     let mut planned: BTreeSet<NodeId> = BTreeSet::new();
     let mut steps = Vec::new();
     let mut root_candidates = 0usize;
-    while planned.len() < nodes.len() {
-        let (estimate, node) = nodes
-            .iter()
-            .filter(|n| !planned.contains(n))
-            .map(|&n| (search.candidate_estimate(n, &empty), n))
-            .min()
-            .expect("an unplanned node remains");
+    for (index, step) in choice.steps.iter().enumerate() {
+        let node = step.node;
         if planned.is_empty() {
             root_candidates = search.candidates(node, &empty).len();
         }
@@ -929,15 +1022,30 @@ pub fn explain_plan(pattern: &Pattern, instance: &Instance, config: MatchConfig)
             _ => "?".into(),
         };
         let access = search.describe_access(node, &planned);
+        let actual_rows = actuals.as_ref().map(|counts| counts[index]);
+        if let Some(actual) = actual_rows {
+            let estimated = step.est_rows.max(0.0);
+            let error_pct = if actual == 0 {
+                (estimated * 100.0) as u64
+            } else {
+                ((estimated - actual as f64).abs() / actual as f64 * 100.0) as u64
+            };
+            good_trace::observe("match.plan.est_error_pct", error_pct);
+        }
         steps.push(PlanStep {
             node,
             label,
             access,
-            estimate,
+            estimate: step.est_scanned.round() as usize,
+            est_rows: step.est_rows,
+            actual_rows,
         });
         planned.insert(node);
     }
-    let parallel = !nodes.is_empty() && threads > 1 && root_candidates >= config.parallel_threshold;
+    let parallel = choice.strategy == JoinStrategy::Expand
+        && !choice.order.is_empty()
+        && threads > 1
+        && root_candidates >= config.parallel_threshold;
     let morsel = if parallel {
         (root_candidates / (threads * 8)).clamp(1, 1024)
     } else {
@@ -951,6 +1059,11 @@ pub fn explain_plan(pattern: &Pattern, instance: &Instance, config: MatchConfig)
         parallel,
         morsel,
         negation: pattern.has_negation(),
+        strategy: choice.strategy,
+        cyclic: choice.cyclic,
+        est_rows: choice.est_rows,
+        est_cost: choice.est_cost,
+        actual_matchings,
     })
 }
 

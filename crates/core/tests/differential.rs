@@ -1,18 +1,22 @@
 //! Differential property tests for the matching engine.
 //!
 //! Random instances (via the deterministic generator in `good_core::gen`)
-//! and random small patterns are thrown at three independent engines —
+//! and random small patterns are thrown at five independent engines —
 //! the sequential planned search, the morsel-parallel planned search
-//! (forced onto the parallel path with `parallel_threshold: 0`), and the
-//! naive cross-product enumerator — which must agree bit for bit. A
-//! second suite drives random GOOD operations and audits every instance
-//! invariant (including adjacency-index/graph agreement) afterwards.
+//! (forced onto the parallel path with `parallel_threshold: 0`), the
+//! naive cross-product enumerator, the worst-case-optimal generic
+//! join, and the materializing binary join — which must agree bit for
+//! bit. A second suite drives random GOOD operations and audits every
+//! instance invariant (including adjacency-index/graph agreement and
+//! incremental-planner-statistics/rebuild agreement) afterwards.
 
 use good_core::gen::{random_instance, GenConfig};
 use good_core::matching::{find_matchings_naive, find_matchings_with, MatchConfig};
 use good_core::ops::{EdgeDeletion, NodeDeletion};
 use good_core::pattern::Pattern;
+use good_core::planner::find_matchings_binary;
 use good_core::value::Value;
+use good_core::wcoj::find_matchings_wcoj;
 use good_graph::NodeId;
 use proptest::prelude::*;
 
@@ -103,8 +107,12 @@ proptest! {
         )
         .expect("valid pattern");
         let naive = find_matchings_naive(&pattern, &db).expect("valid pattern");
+        let wcoj = find_matchings_wcoj(&pattern, &db).expect("valid pattern");
+        let binary = find_matchings_binary(&pattern, &db).expect("valid pattern");
         prop_assert_eq!(&sequential, &parallel, "sequential vs parallel");
         prop_assert_eq!(&sequential, &naive, "planned vs naive");
+        prop_assert_eq!(&sequential, &wcoj, "planned vs generic join");
+        prop_assert_eq!(&sequential, &binary, "planned vs binary join");
     }
 
     /// Deleting random nodes and edges through the batched operation

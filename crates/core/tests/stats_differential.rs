@@ -1,0 +1,72 @@
+//! Differential property tests for the incrementally maintained
+//! planner statistics.
+//!
+//! The five GOOD operations keep [`InstanceStats`] up to date edge by
+//! edge — no stats pass ever rescans the graph. These tests drive
+//! random mutation workloads (the same deterministic generator the
+//! store torture harness replays) and assert after every program that
+//! the incremental statistics are *identical* to statistics rebuilt
+//! from scratch, so estimation drift cannot creep in silently.
+//!
+//! A small proptest suite runs in tier 1; the deep 10 000-case sweep
+//! is `--ignored` and runs in the nightly cron
+//! (`cargo test --workspace --release -- --ignored`).
+
+use good_core::gen::{bench_scheme, random_instance, random_workload, GenConfig};
+use good_core::instance::Instance;
+use good_core::program::{Env, DEFAULT_FUEL};
+use good_core::stats::InstanceStats;
+use proptest::prelude::*;
+
+/// Incremental stats must equal a from-scratch rebuild, exactly.
+fn assert_stats_fresh(db: &Instance, context: &str) {
+    let fresh = InstanceStats::build(db.graph());
+    assert!(
+        *db.stats() == fresh,
+        "incremental planner statistics drifted from a fresh rebuild {context}"
+    );
+}
+
+/// Replay `count` workload programs from `seed`, checking the stats
+/// against a rebuild after every program.
+fn check_workload(seed: u64, count: usize) {
+    let mut db = Instance::new(bench_scheme());
+    let mut env = Env::with_fuel(DEFAULT_FUEL);
+    for (step, program) in random_workload(seed, count).into_iter().enumerate() {
+        env.refuel();
+        program.apply(&mut db, &mut env).expect("workload applies");
+        assert_stats_fresh(&db, &format!("(seed {seed}, after program {step})"));
+    }
+    db.validate().expect("workload leaves a valid instance");
+}
+
+proptest! {
+    /// Incremental ≡ rebuilt after every program of a random workload.
+    #[test]
+    fn incremental_stats_match_rebuild(seed in 0u64..1_000_000, count in 1usize..24) {
+        check_workload(seed, count);
+    }
+
+    /// The generator's random instances come out of `from_parts` with
+    /// stats already matching a rebuild (and histogram counts that
+    /// agree with the adjacency index).
+    #[test]
+    fn generated_instances_start_consistent(
+        infos in 1usize..=24,
+        seed in 0u64..1_000_000,
+        distinct_dates in 1usize..=5,
+    ) {
+        let db = random_instance(&GenConfig { infos, avg_links: 2.0, distinct_dates, seed });
+        assert_stats_fresh(&db, "(random_instance)");
+    }
+}
+
+/// Nightly sweep: 10 000 seeded workloads, long programs.
+/// Run with `cargo test -p good-core --release -- --ignored`.
+#[test]
+#[ignore = "nightly: 10k-case stats differential sweep"]
+fn incremental_stats_match_rebuild_deep() {
+    for seed in 0..10_000u64 {
+        check_workload(seed, 32);
+    }
+}

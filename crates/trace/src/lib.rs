@@ -697,6 +697,14 @@ pub fn gauge_set(name: &'static str, value: i64) {
 /// Record one observation (typically a latency in nanoseconds) into the
 /// power-of-two histogram `name` (no-op unless tracing is enabled).
 pub fn observe_ns(name: &'static str, value: u64) {
+    observe(name, value);
+}
+
+/// Record one observation of an arbitrary magnitude (row counts,
+/// estimate errors, …) into the power-of-two histogram `name` (no-op
+/// unless tracing is enabled). [`observe_ns`] is the
+/// nanosecond-flavored alias.
+pub fn observe(name: &'static str, value: u64) {
     if !enabled() {
         return;
     }
