@@ -8,6 +8,8 @@
 //! good-db serve --sessions 4   # scripted multi-session server run
 //! good-db serve --listen 127.0.0.1:7411   # TCP wire-protocol server
 //! good-db client 127.0.0.1:7411 --programs 8 --snapshot
+//! good-db client 127.0.0.1:7411 --programs 0 --stats   # introspection snapshot
+//! good-db top 127.0.0.1:7411 --interval-ms 500         # live dashboard
 //! ```
 //!
 //! Commands are line-oriented; a line whose braces are unbalanced
@@ -420,19 +422,22 @@ fn client_exit_code(err: &good_server::client::ClientError) -> i32 {
             ErrCode::QueueFull => 4,
             ErrCode::QuotaExceeded => 5,
             ErrCode::Overloaded => 6,
-            ErrCode::BadRequest | ErrCode::Store => 1,
+            ErrCode::BadRequest | ErrCode::Store | ErrCode::UnsupportedVersion => 1,
         },
         _ => 1,
     }
 }
 
 /// `good-db client ADDR [--programs N] [--seed S] [--retries R]
-/// [--query PATTERN] [--snapshot] [--dot]`
+/// [--query PATTERN] [--snapshot] [--dot] [--stats]`
 ///
 /// Scripted wire-protocol client: connects, submits N programs of the
 /// deterministic `random_workload` (riding out retryable refusals up
 /// to R times each), optionally runs a pattern query and a snapshot
 /// read, then says goodbye. Prints one line per acknowledgement.
+/// `--stats` fetches the server's introspection snapshot (counters,
+/// gauges, latency histograms, MVCC ring, slow-query log) and
+/// pretty-prints it as JSON; `--programs 0 --stats` is a pure probe.
 fn run_client(args: &[String]) -> i32 {
     use good_core::gen::random_workload;
     use good_server::client::Client;
@@ -448,6 +453,7 @@ fn run_client(args: &[String]) -> i32 {
     let mut query: Option<String> = None;
     let mut snapshot = false;
     let mut dot = false;
+    let mut stats = false;
     while let Some(flag) = rest.next() {
         let mut value = |name: &str| match rest.next() {
             Some(value) => value.clone(),
@@ -475,6 +481,7 @@ fn run_client(args: &[String]) -> i32 {
             "--query" => query = Some(value("--query")),
             "--snapshot" => snapshot = true,
             "--dot" => dot = true,
+            "--stats" => stats = true,
             other => {
                 eprintln!("error: unknown client flag {other:?}");
                 return 1;
@@ -550,10 +557,206 @@ fn run_client(args: &[String]) -> i32 {
             }
         }
     }
+    if stats {
+        match client.stats() {
+            Ok(json) => match serde_json::from_str::<serde_json::Value>(&json) {
+                // Re-render pretty; fall back to the raw text if the
+                // server ever sends something our reader rejects.
+                Ok(doc) => println!(
+                    "{}",
+                    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| json.clone())
+                ),
+                Err(_) => println!("{json}"),
+            },
+            Err(err) => {
+                eprintln!("error: {err}");
+                return client_exit_code(&err);
+            }
+        }
+    }
     if let Err(err) = client.goodbye() {
         eprintln!("error: {err}");
         return client_exit_code(&err);
     }
+    0
+}
+
+/// Rebuild a [`good_trace::HistogramSnapshot`] from its stats-JSON
+/// form so `top` can compute latency quantiles client-side.
+fn histogram_from_json(entry: &serde_json::Value) -> good_trace::HistogramSnapshot {
+    let mut snapshot = good_trace::HistogramSnapshot {
+        count: entry["count"].as_u64().unwrap_or(0),
+        sum: entry["sum"].as_u64().unwrap_or(0),
+        max: entry["max"].as_u64().unwrap_or(0),
+        buckets: Vec::new(),
+    };
+    if let Some(buckets) = entry["buckets"].as_seq() {
+        for pair in buckets {
+            if let (Some(upper), Some(count)) = (
+                pair.at(0).and_then(serde_json::Value::as_u64),
+                pair.at(1).and_then(serde_json::Value::as_u64),
+            ) {
+                snapshot.buckets.push((upper, count));
+            }
+        }
+    }
+    snapshot
+}
+
+/// One `top` refresh: a compact multi-line dashboard from a parsed
+/// stats snapshot.
+fn render_top(addr: &str, doc: &serde_json::Value) -> String {
+    use good_trace::format_ns;
+    let mut out = String::new();
+    let server = &doc["server"];
+    out.push_str(&format!(
+        "good-db top {addr} — epoch {}, {} session(s){}\n",
+        server["epoch"].as_u64().unwrap_or(0),
+        server["sessions"].as_u64().unwrap_or(0),
+        if matches!(server["draining"], serde_json::Value::Bool(true)) {
+            ", draining"
+        } else {
+            ""
+        },
+    ));
+    let net = &doc["net"];
+    out.push_str(&format!(
+        "net:    {}/{} conns, {} accepted, inflight quota {}\n",
+        net["connections"].as_u64().unwrap_or(0),
+        net["max_connections"].as_u64().unwrap_or(0),
+        net["total_accepted"].as_u64().unwrap_or(0),
+        net["session_inflight"].as_u64().unwrap_or(0),
+    ));
+    let counters = &doc["metrics"]["counters"];
+    out.push_str(&format!(
+        "server: queue {}/{}, committed {}, rejected {}, acks {}\n",
+        server["queue_depth"].as_u64().unwrap_or(0),
+        server["queue_capacity"].as_u64().unwrap_or(0),
+        counters["server/committed"].as_u64().unwrap_or(0),
+        counters["server/rejected"].as_u64().unwrap_or(0),
+        counters["net/acks"].as_u64().unwrap_or(0),
+    ));
+    let mut latency = String::new();
+    for (label, name) in [
+        ("commit", "server/commit_ns"),
+        ("query", "net/query_ns"),
+        ("fsync", "store/fsync_ns"),
+    ] {
+        let histogram = histogram_from_json(&doc["metrics"]["histograms"][name]);
+        if histogram.count == 0 {
+            continue;
+        }
+        if !latency.is_empty() {
+            latency.push_str("; ");
+        }
+        latency.push_str(&format!(
+            "{label} p50={} p99={} max={}",
+            format_ns(histogram.quantile(0.5)),
+            format_ns(histogram.quantile(0.99)),
+            format_ns(histogram.max),
+        ));
+    }
+    if !latency.is_empty() {
+        out.push_str(&format!("latency: {latency}\n"));
+    }
+    let slow = &doc["slow"];
+    let entries = slow["entries"].as_seq().unwrap_or(&[]);
+    out.push_str(&format!(
+        "slow:   {} entries, {} dropped",
+        entries.len(),
+        slow["dropped"].as_u64().unwrap_or(0),
+    ));
+    if let Some(last) = entries.last() {
+        out.push_str(&format!(
+            " — last: {} {} {:?}",
+            last["kind"].as_str().unwrap_or("?"),
+            format_ns(last["total_ns"].as_u64().unwrap_or(0)),
+            last["detail"].as_str().unwrap_or(""),
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// `good-db top ADDR [--interval-ms N] [--count K]`
+///
+/// Live server dashboard over the stats wire frame: connects, then
+/// prints a refreshed summary (connections, queue, throughput
+/// counters, latency quantiles, slow-query tail) every interval.
+/// `--count 0` (the default) refreshes until interrupted or the
+/// server goes away.
+fn run_top(args: &[String]) -> i32 {
+    use good_server::client::Client;
+
+    let mut rest = args.iter();
+    let Some(addr) = rest.next() else {
+        eprintln!("error: top requires a server address (host:port)");
+        return 1;
+    };
+    let mut interval_ms = 1_000u64;
+    let mut count = 0u64;
+    while let Some(flag) = rest.next() {
+        let mut value = |name: &str| match rest.next() {
+            Some(value) => value.clone(),
+            None => {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(1);
+            }
+        };
+        macro_rules! parse {
+            ($target:ident, $name:literal) => {{
+                let raw = value($name);
+                match raw.parse() {
+                    Ok(parsed) => $target = parsed,
+                    Err(_) => {
+                        eprintln!("error: bad value for {}: {raw:?}", $name);
+                        return 1;
+                    }
+                }
+            }};
+        }
+        match flag.as_str() {
+            "--interval-ms" => parse!(interval_ms, "--interval-ms"),
+            "--count" => parse!(count, "--count"),
+            other => {
+                eprintln!("error: unknown top flag {other:?}");
+                return 1;
+            }
+        }
+    }
+
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return client_exit_code(&err);
+        }
+    };
+    let mut refreshes = 0u64;
+    loop {
+        let json = match client.stats() {
+            Ok(json) => json,
+            Err(err) => {
+                eprintln!("error: {err}");
+                return client_exit_code(&err);
+            }
+        };
+        match serde_json::from_str::<serde_json::Value>(&json) {
+            Ok(doc) => print!("{}", render_top(addr, &doc)),
+            Err(err) => {
+                eprintln!("error: unparseable stats snapshot: {err}");
+                return 1;
+            }
+        }
+        std::io::stdout().flush().expect("flush stdout");
+        refreshes += 1;
+        if count > 0 && refreshes >= count {
+            break;
+        }
+        println!();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    let _ = client.goodbye();
     0
 }
 
@@ -676,6 +879,12 @@ fn main() {
     // `client` wire-protocol mode.
     if args.first().map(String::as_str) == Some("client") {
         let code = run_client(&args[1..]);
+        finish(&profiler, code);
+    }
+
+    // `top` live-dashboard mode.
+    if args.first().map(String::as_str) == Some("top") {
+        let code = run_top(&args[1..]);
         finish(&profiler, code);
     }
 

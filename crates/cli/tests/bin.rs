@@ -557,3 +557,119 @@ fn serve_listen_drains_in_flight_commits_before_exit() {
     // journal held the acked prefix at exit.
     assert!(stdout.contains("final instance"), "{stdout}");
 }
+
+// ------------------------------------------------------ introspection
+
+#[test]
+fn client_stats_flag_prints_a_parseable_snapshot() {
+    let (server, addr) = spawn_listener(&[]);
+    // A little traffic first so the counters are nonzero.
+    let warmup = binary()
+        .args(["client", &addr, "--programs", "2", "--seed", "5"])
+        .output()
+        .expect("client runs");
+    assert!(warmup.status.success(), "{warmup:?}");
+    let probe = binary()
+        .args(["client", &addr, "--programs", "0", "--stats"])
+        .output()
+        .expect("client runs");
+    assert!(probe.status.success(), "{probe:?}");
+    let stdout = String::from_utf8_lossy(&probe.stdout);
+    // The snapshot JSON starts after the "connected:" banner line.
+    let json = &stdout[stdout.find('{').expect("JSON in output")..];
+    let doc: serde_json::Value =
+        serde_json::from_str(json.trim()).unwrap_or_else(|err| panic!("{err}\n{json}"));
+    for section in ["net", "server", "mvcc", "metrics", "slow"] {
+        assert!(doc.get(section).is_some(), "missing {section}: {stdout}");
+    }
+    assert!(
+        doc["metrics"]["counters"]["server/committed"]
+            .as_u64()
+            .unwrap()
+            >= 2,
+        "{stdout}"
+    );
+    drain_listener(server);
+}
+
+#[test]
+fn top_renders_a_refreshing_dashboard() {
+    let (server, addr) = spawn_listener(&[]);
+    let warmup = binary()
+        .args(["client", &addr, "--programs", "3", "--seed", "2"])
+        .output()
+        .expect("client runs");
+    assert!(warmup.status.success(), "{warmup:?}");
+    let top = binary()
+        .args(["top", &addr, "--count", "2", "--interval-ms", "10"])
+        .output()
+        .expect("top runs");
+    assert!(top.status.success(), "{top:?}");
+    let stdout = String::from_utf8_lossy(&top.stdout);
+    assert_eq!(
+        stdout.matches("good-db top").count(),
+        2,
+        "two refreshes: {stdout}"
+    );
+    assert!(stdout.contains("— epoch"), "{stdout}");
+    assert!(stdout.contains("conns"), "{stdout}");
+    assert!(stdout.contains("committed 3"), "{stdout}");
+    assert!(stdout.contains("latency: commit p50="), "{stdout}");
+    drain_listener(server);
+}
+
+#[test]
+fn top_against_no_server_exits_1() {
+    let output = binary()
+        .args(["top", "127.0.0.1:1"])
+        .output()
+        .expect("top runs");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+}
+
+#[test]
+fn serve_listen_profile_writes_chrome_trace_on_drain() {
+    let dir = std::env::temp_dir().join(format!("good-db-listen-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let profile = dir.join("listen.json");
+    let (server, addr) = spawn_listener(&["--profile", profile.to_str().unwrap()]);
+    let client = binary()
+        .args(["client", &addr, "--programs", "2", "--seed", "13"])
+        .output()
+        .expect("client runs");
+    assert!(client.status.success(), "{client:?}");
+    let output = drain_listener(server);
+    assert!(output.status.success(), "{output:?}");
+
+    // The drain wrote a parseable Chrome trace covering the server
+    // pipeline: net frames, enqueue, batch, commit, fsync, ack.
+    let trace = read_trace(&profile);
+    assert_eq!(trace.displayTimeUnit, "ms");
+    let names: std::collections::BTreeSet<&str> = trace
+        .traceEvents
+        .iter()
+        .map(|event| event.name.as_str())
+        .collect();
+    for expected in [
+        "net/conn",
+        "net/frame",
+        "net/ack",
+        "server/enqueue",
+        "server/batch",
+        "server/commit",
+        "server/publish",
+        "store/fsync",
+    ] {
+        assert!(names.contains(expected), "missing {expected}: {names:?}");
+    }
+    // Traced spans carry the wire trace id argument — absent here
+    // (the scripted client does not set one), but commit spans must
+    // still carry their stage args.
+    let commit = trace
+        .traceEvents
+        .iter()
+        .find(|event| event.name == "server/commit")
+        .expect("commit span");
+    assert!(commit.args.contains_key("total_ns"), "{:?}", commit.args);
+    std::fs::remove_dir_all(&dir).ok();
+}

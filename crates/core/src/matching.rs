@@ -939,6 +939,46 @@ impl Plan {
         }
         out
     }
+
+    /// Render as a JSON object for the server's slow-query log and
+    /// stats wire frame: strategy, cost model totals, and per-step
+    /// estimated-vs-actual rows. `actual_rows`/`actual_matchings` are
+    /// `null` on unprofiled plans.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"strategy\":\"{}\",\"cyclic\":{},\"parallel\":{},\"negation\":{},\"root_candidates\":{},\"est_cost\":{:.1},\"est_rows\":{:.1},\"actual_matchings\":{},\"steps\":[",
+            good_trace::escape_json_str(self.strategy.name()),
+            self.cyclic,
+            self.parallel,
+            self.negation,
+            self.root_candidates,
+            self.est_cost,
+            self.est_rows,
+            match self.actual_matchings {
+                Some(count) => count.to_string(),
+                None => "null".to_string(),
+            },
+        );
+        for (index, step) in self.steps.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"node\":{},\"label\":\"{}\",\"access\":\"{}\",\"estimate\":{},\"est_rows\":{:.1},\"actual_rows\":{}}}",
+                step.node.index(),
+                good_trace::escape_json_str(&step.label),
+                good_trace::escape_json_str(&step.access),
+                step.estimate,
+                step.est_rows,
+                match step.actual_rows {
+                    Some(rows) => rows.to_string(),
+                    None => "null".to_string(),
+                },
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// Describe, without running it, the plan [`find_matchings_with`] would

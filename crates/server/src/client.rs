@@ -188,6 +188,7 @@ impl Client {
             Frame::Ack { request, .. }
             | Frame::Rows { request, .. }
             | Frame::Snapshot { request, .. }
+            | Frame::StatsReply { request, .. }
             | Frame::Err { request, .. } => Some(*request),
             _ => None,
         }
@@ -254,9 +255,22 @@ impl Client {
     /// frame is buffered — it reaches the server at the next blocking
     /// read ([`Client::wait_ack`] etc.) or explicit [`Client::flush`].
     pub fn submit(&mut self, program: &Program) -> Result<u64, ClientError> {
+        self.submit_traced(program, None)
+    }
+
+    /// [`Client::submit`] with a trace id carried on the wire: the
+    /// server propagates it through its commit pipeline spans so this
+    /// request's timeline (queue-wait → batch → fsync → publish →
+    /// ack) can be reconstructed from a capture. Pass the request id
+    /// itself (or any client-chosen correlation value).
+    pub fn submit_traced(
+        &mut self,
+        program: &Program,
+        trace: Option<u64>,
+    ) -> Result<u64, ClientError> {
         let request = self.next_request;
         self.next_request += 1;
-        let bytes = crate::proto::encode_submit(request, program);
+        let bytes = crate::proto::encode_submit(request, program, trace);
         self.writer
             .write_all(&bytes)
             .map_err(|e| ClientError::Io(e.to_string()))?;
@@ -317,12 +331,24 @@ impl Client {
     /// Run a pattern query against the current snapshot (`at = None`)
     /// or a retained MVCC epoch. Returns `(epoch, columns, rows)`.
     pub fn query(&mut self, pattern: &str, at: Option<u64>) -> Result<QueryRows, ClientError> {
+        self.query_traced(pattern, at, None)
+    }
+
+    /// [`Client::query`] with a wire-carried trace id (see
+    /// [`Client::submit_traced`]).
+    pub fn query_traced(
+        &mut self,
+        pattern: &str,
+        at: Option<u64>,
+        trace: Option<u64>,
+    ) -> Result<QueryRows, ClientError> {
         let request = self.next_request;
         self.next_request += 1;
         self.send(&Frame::Query {
             request,
             at,
             pattern: pattern.into(),
+            trace,
         })?;
         match self.recv_matching(request)? {
             Frame::Rows {
@@ -359,6 +385,22 @@ impl Client {
             } => Ok(info),
             other => Err(ClientError::Proto(format!(
                 "expected Snapshot reply, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Fetch the server's live introspection snapshot (metrics, MVCC
+    /// ring, admission state, slow-query ring) as a JSON string —
+    /// the `Stats` frame round trip.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let request = self.next_request;
+        self.next_request += 1;
+        self.send(&Frame::Stats { request })?;
+        match self.recv_matching(request)? {
+            Frame::StatsReply { json, .. } => Ok(json),
+            other => Err(ClientError::Proto(format!(
+                "expected StatsReply, got {}",
                 other.type_name()
             ))),
         }

@@ -32,10 +32,16 @@
 //! queued request, and leaves the server refusing further writes —
 //! committed snapshots stay readable throughout.
 //!
-//! Observability: `server/enqueue`, `server/batch`, and
-//! `server/publish` spans, a `server/queue_depth` gauge, and a
-//! `server/batch_size` histogram (via the trace crate's u64 histogram
-//! entry point) feed the existing `good-trace` layer.
+//! Observability (DESIGN.md "Observability"): `server/enqueue`,
+//! `server/batch`, per-request `server/commit`, and `server/publish`
+//! spans feed the recorder-gated `good-trace` layer; a parallel set of
+//! **always-on live metrics** (queue depth and session gauges,
+//! enqueue/commit counters, queue-wait / execute / publish / commit
+//! latency histograms) records whether or not a recorder is installed.
+//! Requests carry an optional wire-propagated trace id end to end, and
+//! commits slower than [`ServerConfig::slow_commit_ns`] land in a
+//! bounded [`SlowLog`] ring served to remote clients by the `Stats`
+//! frame.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,10 +55,26 @@ use good_core::ops::OpReport;
 use good_core::program::Program;
 use good_core::snapshot::{RetentionPolicy, Snapshot, SnapshotCell};
 use good_store::Store;
+use good_trace::{LiveCounter, LiveGauge, LiveHistogram};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+// Always-on pipeline metrics: cheap atomics, recorded with or without
+// a tracing recorder (see `good_trace` "always-on live metrics").
+static LIVE_ENQUEUED: LiveCounter = LiveCounter::new("server/enqueued");
+static LIVE_COMMITTED: LiveCounter = LiveCounter::new("server/committed");
+static LIVE_REJECTED: LiveCounter = LiveCounter::new("server/rejected");
+static LIVE_QUEUE_FULL: LiveCounter = LiveCounter::new("server/queue_full");
+static LIVE_QUEUE_DEPTH: LiveGauge = LiveGauge::new("server/queue_depth");
+static LIVE_SESSIONS: LiveGauge = LiveGauge::new("server/sessions");
+static LIVE_BATCH_SIZE: LiveHistogram = LiveHistogram::new("server/batch_size");
+static LIVE_QUEUE_WAIT_NS: LiveHistogram = LiveHistogram::new("server/queue_wait_ns");
+static LIVE_EXEC_NS: LiveHistogram = LiveHistogram::new("server/exec_ns");
+static LIVE_PUBLISH_NS: LiveHistogram = LiveHistogram::new("server/publish_ns");
+static LIVE_COMMIT_NS: LiveHistogram = LiveHistogram::new("server/commit_ns");
 
 /// Identifies one open session.
 pub type SessionId = u64;
@@ -73,6 +95,16 @@ pub struct ServerConfig {
     /// retains for [`Server::snapshot_at`] time-travel reads (the
     /// current version is always kept). 0 disables time travel.
     pub retain_versions: usize,
+    /// Commits slower than this (enqueue → ack posted, nanoseconds)
+    /// are captured into the [`SlowLog`]. `u64::MAX` disables capture.
+    pub slow_commit_ns: u64,
+    /// Queries slower than this (nanoseconds) are captured into the
+    /// [`SlowLog`] with their profiled plan (est vs actual rows per
+    /// step). `u64::MAX` disables capture.
+    pub slow_query_ns: u64,
+    /// Bounded capacity of the slow-query/slow-commit ring; older
+    /// entries are evicted (and counted as dropped).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +113,9 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             max_batch: 32,
             retain_versions: 64,
+            slow_commit_ns: 50_000_000, // 50ms
+            slow_query_ns: 20_000_000,  // 20ms
+            slow_log_capacity: 64,
         }
     }
 }
@@ -144,10 +179,165 @@ pub struct Ack {
     pub outcome: Result<OpReport, GoodError>,
 }
 
+/// What kind of work a [`SlowEntry`] captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowKind {
+    /// A read-only pattern query (captured by the net front end).
+    Query,
+    /// A committed (or rejected) program submission.
+    Commit,
+}
+
+impl SlowKind {
+    /// Stable lowercase name, used in the stats JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SlowKind::Query => "query",
+            SlowKind::Commit => "commit",
+        }
+    }
+}
+
+/// One captured slow query or slow commit.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Monotone capture sequence (process-wide per server).
+    pub seq: u64,
+    /// Query or commit.
+    pub kind: SlowKind,
+    /// The wire-propagated trace id, when the client assigned one.
+    pub trace: Option<u64>,
+    /// The owning session.
+    pub session: SessionId,
+    /// End-to-end latency in nanoseconds.
+    pub total_ns: u64,
+    /// The snapshot epoch the work ran at (queries) or published
+    /// (commits).
+    pub epoch: u64,
+    /// Human-readable description: the pattern text for queries, an
+    /// op-count summary for commits.
+    pub detail: String,
+    /// The profiled plan as a JSON object (strategy, per-step
+    /// estimated vs actual rows) — queries only.
+    pub plan_json: Option<String>,
+    /// Named stage timings in nanoseconds (queue-wait, execute,
+    /// publish for commits; parse/match for queries).
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+impl SlowEntry {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"seq\":{},\"kind\":\"{}\",",
+            self.seq,
+            self.kind.as_str()
+        ));
+        match self.trace {
+            Some(id) => out.push_str(&format!("\"trace\":{id},")),
+            None => out.push_str("\"trace\":null,"),
+        }
+        out.push_str(&format!(
+            "\"session\":{},\"total_ns\":{},\"epoch\":{},\"detail\":\"{}\",",
+            self.session,
+            self.total_ns,
+            self.epoch,
+            good_trace::escape_json_str(&self.detail)
+        ));
+        out.push_str("\"stages\":{");
+        for (index, (name, ns)) in self.stages.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{ns}"));
+        }
+        out.push_str("},\"plan\":");
+        match &self.plan_json {
+            Some(plan) => out.push_str(plan),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A bounded ring of the slowest recent work: queries and commits that
+/// crossed their configured thresholds, with stage timings and (for
+/// queries) the profiled plan. Capped at
+/// [`ServerConfig::slow_log_capacity`]; eviction counts as `dropped`.
+/// Pushes take one short mutex — they only happen on already-slow
+/// work, never on the hot path.
+pub struct SlowLog {
+    inner: Mutex<SlowLogInner>,
+    capacity: usize,
+}
+
+struct SlowLogInner {
+    ring: VecDeque<SlowEntry>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl SlowLog {
+    fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            inner: Mutex::new(SlowLogInner {
+                ring: VecDeque::new(),
+                next_seq: 1,
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append an entry (its `seq` field is assigned here), evicting
+    /// the oldest when full.
+    pub fn push(&self, mut entry: SlowEntry) {
+        let mut inner = self.inner.lock().expect("slow log poisoned");
+        entry.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(entry);
+    }
+
+    /// Copy the ring, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        let inner = self.inner.lock().expect("slow log poisoned");
+        inner.ring.iter().cloned().collect()
+    }
+
+    /// How many entries eviction has discarded so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("slow log poisoned").dropped
+    }
+
+    /// Render as a JSON object: `{"dropped":N,"entries":[...]}`.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().expect("slow log poisoned");
+        let mut out = format!("{{\"dropped\":{},\"entries\":[", inner.dropped);
+        for (index, entry) in inner.ring.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&entry.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 struct Request {
     ticket: Ticket,
     session: SessionId,
     program: Program,
+    /// Wire-propagated trace id (None for untraced submissions).
+    trace: Option<u64>,
+    /// When the request entered the queue — the anchor for queue-wait
+    /// and end-to-end commit latency.
+    enqueued: Instant,
 }
 
 struct State {
@@ -169,6 +359,7 @@ struct Shared {
     done: Condvar,
     cell: SnapshotCell,
     config: ServerConfig,
+    slow: SlowLog,
 }
 
 impl Shared {
@@ -176,7 +367,12 @@ impl Shared {
         self.state.lock().expect("server state poisoned")
     }
 
-    fn submit(&self, session: SessionId, program: Program) -> Result<Ticket, ServerError> {
+    fn submit(
+        &self,
+        session: SessionId,
+        program: Program,
+        trace: Option<u64>,
+    ) -> Result<Ticket, ServerError> {
         let mut span = good_trace::span("server", "server/enqueue");
         let mut state = self.lock();
         if let Some(reason) = &state.failed {
@@ -190,6 +386,7 @@ impl Shared {
         }
         if state.queue.len() >= self.config.queue_capacity {
             good_trace::counter_add("server/queue_full", 1);
+            LIVE_QUEUE_FULL.incr();
             return Err(ServerError::QueueFull {
                 capacity: self.config.queue_capacity,
             });
@@ -200,11 +397,18 @@ impl Shared {
             ticket,
             session,
             program,
+            trace,
+            enqueued: Instant::now(),
         });
         let depth = state.queue.len();
         good_trace::gauge_set("server/queue_depth", depth as i64);
+        LIVE_ENQUEUED.incr();
+        LIVE_QUEUE_DEPTH.set(depth as i64);
         span.arg("session", session);
         span.arg("depth", depth);
+        if let Some(id) = trace {
+            span.arg("trace", id);
+        }
         drop(state);
         self.work.notify_one();
         Ok(ticket)
@@ -290,6 +494,7 @@ impl Server {
                 store.instance_arc(),
                 RetentionPolicy::versions(config.retain_versions),
             ),
+            slow: SlowLog::new(config.slow_log_capacity),
             config,
         });
         let writer_shared = Arc::clone(&shared);
@@ -310,6 +515,7 @@ impl Server {
         state.next_session += 1;
         state.sessions.insert(id);
         good_trace::counter_add("server/sessions_opened", 1);
+        LIVE_SESSIONS.set(state.sessions.len() as i64);
         id
     }
 
@@ -319,6 +525,7 @@ impl Server {
     pub fn close_session(&self, session: SessionId) -> Result<(), ServerError> {
         let mut state = self.shared.lock();
         if state.sessions.remove(&session) {
+            LIVE_SESSIONS.set(state.sessions.len() as i64);
             Ok(())
         } else {
             Err(ServerError::UnknownSession(session))
@@ -366,7 +573,95 @@ impl Server {
     /// Enqueue `program` for `session`. Returns a ticket redeemable
     /// exactly once via [`Server::wait`].
     pub fn submit(&self, session: SessionId, program: Program) -> Result<Ticket, ServerError> {
-        self.shared.submit(session, program)
+        self.shared.submit(session, program, None)
+    }
+
+    /// [`Server::submit`] with a client-assigned trace id that rides
+    /// the request through the pipeline: the `server/enqueue` and
+    /// per-request `server/commit` spans carry it as an arg, so a
+    /// request's commit timeline (queue-wait → batch → fsync →
+    /// publish → ack) can be reconstructed from a span capture.
+    pub fn submit_traced(
+        &self,
+        session: SessionId,
+        program: Program,
+        trace: Option<u64>,
+    ) -> Result<Ticket, ServerError> {
+        self.shared.submit(session, program, trace)
+    }
+
+    /// The slow-query/slow-commit ring. The net front end pushes slow
+    /// queries here; the writer pushes slow commits.
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.shared.slow
+    }
+
+    /// The slow-capture thresholds `(slow_query_ns, slow_commit_ns)`
+    /// this server was configured with.
+    pub fn slow_thresholds(&self) -> (u64, u64) {
+        (
+            self.shared.config.slow_query_ns,
+            self.shared.config.slow_commit_ns,
+        )
+    }
+
+    /// The introspection snapshot's server-side sections, as JSON
+    /// object *members* (no surrounding braces): `"server":{…},
+    /// "mvcc":{…},"metrics":{…},"slow":{…}`. The net front end
+    /// prepends its own `"net"` section and wraps the whole thing;
+    /// [`Server::stats_json`] wraps it directly for in-process use.
+    /// Reads only atomics, the state mutex (briefly), and the slow
+    /// ring — never the commit path.
+    pub fn stats_sections(&self) -> String {
+        let (queue_depth, sessions, draining, failed) = {
+            let state = self.shared.lock();
+            (
+                state.queue.len(),
+                state.sessions.len(),
+                state.shutdown,
+                state.failed.clone(),
+            )
+        };
+        let mut out = format!(
+            "\"server\":{{\"epoch\":{},\"queue_depth\":{queue_depth},\"queue_capacity\":{},\"max_batch\":{},\"sessions\":{sessions},\"draining\":{draining},\"failed\":{}}}",
+            self.epoch(),
+            self.shared.config.queue_capacity,
+            self.shared.config.max_batch,
+            match &failed {
+                Some(reason) => format!("\"{}\"", good_trace::escape_json_str(reason)),
+                None => "null".to_string(),
+            },
+        );
+        let retained = self.retained_epochs();
+        out.push_str(&format!(
+            ",\"mvcc\":{{\"epoch\":{},\"retain_versions\":{},\"retained\":[",
+            self.epoch(),
+            self.shared.config.retain_versions
+        ));
+        for (index, epoch) in retained.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&epoch.to_string());
+        }
+        out.push_str("]}");
+        // Live metrics always; fold in the recorder-gated registry too
+        // when a recorder happens to be installed (its names are
+        // disjoint in practice; first writer wins on collision).
+        let mut metrics = good_trace::live_metrics_snapshot();
+        if good_trace::enabled() {
+            metrics.merge(good_trace::metrics_snapshot());
+        }
+        out.push_str(",\"metrics\":");
+        out.push_str(&metrics.to_json());
+        out.push_str(",\"slow\":");
+        out.push_str(&self.shared.slow.to_json());
+        out
+    }
+
+    /// The full in-process introspection snapshot as one JSON object.
+    pub fn stats_json(&self) -> String {
+        format!("{{{}}}", self.stats_sections())
     }
 
     /// Block until the writer acks `ticket`. Each ticket may be waited
@@ -462,15 +757,25 @@ fn writer_loop(shared: Arc<Shared>, mut store: Store) -> Store {
             let take = state.queue.len().min(shared.config.max_batch);
             let batch: Vec<Request> = state.queue.drain(..take).collect();
             good_trace::gauge_set("server/queue_depth", state.queue.len() as i64);
+            LIVE_QUEUE_DEPTH.set(state.queue.len() as i64);
             batch
         };
+        // Queue-wait ends here for every request in the batch.
+        let drained = Instant::now();
         let mut batch_span = good_trace::span("server", "server/batch");
         batch_span.arg("programs", batch.len());
         // The trace histogram entry point is u64-valued; batch size
         // reuses it as a plain count histogram.
         good_trace::observe_ns("server/batch_size", batch.len() as u64);
+        LIVE_BATCH_SIZE.observe(batch.len() as u64);
+        for req in &batch {
+            LIVE_QUEUE_WAIT_NS.observe(duration_ns(req.enqueued, drained));
+        }
         let programs: Vec<Program> = batch.iter().map(|req| req.program.clone()).collect();
-        match store.execute_group(&programs) {
+        let exec_result = store.execute_group(&programs);
+        let executed = Instant::now();
+        LIVE_EXEC_NS.observe(duration_ns(drained, executed));
+        match exec_result {
             Ok(outcomes) => {
                 let epoch = {
                     let _publish_span = good_trace::span("server", "server/publish");
@@ -478,13 +783,58 @@ fn writer_loop(shared: Arc<Shared>, mut store: Store) -> Store {
                     // is shared into the ring as-is.
                     shared.cell.publish_arc(store.instance_arc())
                 };
+                let published = Instant::now();
+                LIVE_PUBLISH_NS.observe(duration_ns(executed, published));
                 batch_span.arg("epoch", epoch);
+                let exec_ns = duration_ns(drained, executed);
+                let publish_ns = duration_ns(executed, published);
                 let mut state = shared.lock();
                 for (req, outcome) in batch.into_iter().zip(outcomes) {
                     let seq = outcome.is_ok().then(|| {
                         commit_seq += 1;
                         commit_seq
                     });
+                    if outcome.is_ok() {
+                        LIVE_COMMITTED.incr();
+                    } else {
+                        LIVE_REJECTED.incr();
+                    }
+                    let queue_wait_ns = duration_ns(req.enqueued, drained);
+                    let total_ns = req.enqueued.elapsed().as_nanos() as u64;
+                    LIVE_COMMIT_NS.observe(total_ns);
+                    // Per-request commit span: a child of the batch
+                    // span on this thread, carrying the trace id and
+                    // stage timings so a wire-traced request's
+                    // timeline can be reconstructed from a capture.
+                    {
+                        let mut commit_span = good_trace::span("server", "server/commit");
+                        if let Some(id) = req.trace {
+                            commit_span.arg("trace", id);
+                        }
+                        commit_span.arg("queue_wait_ns", queue_wait_ns);
+                        commit_span.arg("total_ns", total_ns);
+                        commit_span.arg("epoch", epoch);
+                        if let Some(seq) = seq {
+                            commit_span.arg("commit_seq", seq);
+                        }
+                    }
+                    if total_ns >= shared.config.slow_commit_ns {
+                        shared.slow.push(SlowEntry {
+                            seq: 0, // assigned by the log
+                            kind: SlowKind::Commit,
+                            trace: req.trace,
+                            session: req.session,
+                            total_ns,
+                            epoch,
+                            detail: format!("{} ops", req.program.len()),
+                            plan_json: None,
+                            stages: vec![
+                                ("queue_wait_ns", queue_wait_ns),
+                                ("execute_ns", exec_ns),
+                                ("publish_ns", publish_ns),
+                            ],
+                        });
+                    }
                     state.completions.insert(
                         req.ticket,
                         Ok(Ack {
@@ -514,9 +864,17 @@ fn writer_loop(shared: Arc<Shared>, mut store: Store) -> Store {
                     state.completions.insert(req.ticket, Err(reason.clone()));
                 }
                 good_trace::gauge_set("server/queue_depth", 0);
+                LIVE_QUEUE_DEPTH.set(0);
                 drop(state);
                 shared.done.notify_all();
             }
         }
     }
+}
+
+/// Saturating nanoseconds between two instants (0 when out of order).
+fn duration_ns(from: Instant, to: Instant) -> u64 {
+    to.checked_duration_since(from)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
 }

@@ -42,20 +42,28 @@
 //! the [`Store`] — the journal then contains exactly the acked
 //! prefix.
 //!
-//! Observability: `net/accept`, `net/conn` and `net/frame` spans, a
-//! `net/connections` gauge, and `net/shed`, `net/quota_reject`,
-//! `net/bad_frame` counters feed the `good-trace` layer.
+//! Observability (DESIGN.md "Observability"): `net/accept`,
+//! `net/conn`, `net/frame`, and per-ack `net/ack` spans feed the
+//! recorder-gated `good-trace` layer; always-on live metrics
+//! (per-frame-type counters, a connections gauge, query/ack latency
+//! histograms, shed/quota/bad-frame counters) record regardless. The
+//! reader thread serves `Stats` frames with the full introspection
+//! snapshot — metrics, MVCC ring, admission state, slow-query ring —
+//! without touching the commit path, and `Submit`/`Query` frames may
+//! carry a client-assigned trace id that rides the request through
+//! every span.
 
 use crate::proto::{
     encode, read_frame, write_frame, ErrCode, Frame, ProtoError, SnapshotInfo, VERSION,
 };
-use crate::{Server, ServerError, Ticket};
+use crate::{Server, ServerError, SlowEntry, SlowKind, Ticket};
 use good_core::instance::Instance;
-use good_core::matching::find_matchings;
+use good_core::matching::{explain_plan_profiled, find_matchings, MatchConfig};
 use good_core::snapshot::Snapshot;
 use good_core::textual::parse_pattern;
 use good_graph::NodeId;
 use good_store::Store;
+use good_trace::{LiveCounter, LiveGauge, LiveHistogram};
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -63,7 +71,24 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+// Always-on front-end metrics (see `good_trace` live metrics): frame
+// counts by type, admission events, connection gauge, read latencies.
+static LIVE_CONNECTIONS: LiveGauge = LiveGauge::new("net/connections");
+static LIVE_ACCEPTED: LiveCounter = LiveCounter::new("net/accepted");
+static LIVE_SHED: LiveCounter = LiveCounter::new("net/shed");
+static LIVE_QUOTA_REJECT: LiveCounter = LiveCounter::new("net/quota_reject");
+static LIVE_BAD_FRAME: LiveCounter = LiveCounter::new("net/bad_frame");
+static LIVE_VERSION_REJECT: LiveCounter = LiveCounter::new("net/version_reject");
+static LIVE_FRAMES_SUBMIT: LiveCounter = LiveCounter::new("net/frames/submit");
+static LIVE_FRAMES_QUERY: LiveCounter = LiveCounter::new("net/frames/query");
+static LIVE_FRAMES_SNAPSHOT: LiveCounter = LiveCounter::new("net/frames/snapshot");
+static LIVE_FRAMES_STATS: LiveCounter = LiveCounter::new("net/frames/stats");
+static LIVE_FRAMES_OTHER: LiveCounter = LiveCounter::new("net/frames/other");
+static LIVE_ACKS: LiveCounter = LiveCounter::new("net/acks");
+static LIVE_QUERY_NS: LiveHistogram = LiveHistogram::new("net/query_ns");
+static LIVE_STATS_NS: LiveHistogram = LiveHistogram::new("net/stats_ns");
 
 /// Tuning knobs for the network front end.
 #[derive(Debug, Clone)]
@@ -135,6 +160,22 @@ impl NetShared {
             registry.finished.push(handle);
         }
         good_trace::gauge_set("net/connections", registry.streams.len() as i64);
+        LIVE_CONNECTIONS.set(registry.streams.len() as i64);
+    }
+
+    /// The full introspection snapshot served to `Stats` frames: the
+    /// net front end's admission state wrapped around the server's
+    /// sections (metrics, MVCC ring, slow log).
+    fn stats_json(&self) -> String {
+        let net = format!(
+            "\"net\":{{\"connections\":{},\"max_connections\":{},\"total_accepted\":{},\"session_inflight\":{},\"draining\":{}}}",
+            self.active_connections(),
+            self.config.max_connections,
+            self.total_accepted.load(Ordering::Relaxed),
+            self.config.session_inflight,
+            self.draining(),
+        );
+        format!("{{{net},{}}}", self.server.stats_sections())
     }
 }
 
@@ -197,6 +238,13 @@ impl NetServer {
     /// Total connections ever admitted (shed connections excluded).
     pub fn total_accepted(&self) -> u64 {
         self.shared.total_accepted.load(Ordering::Relaxed)
+    }
+
+    /// The introspection snapshot `Stats` frames serve — net admission
+    /// state plus the server's metrics/MVCC/slow-log sections — for
+    /// in-process consumers (the CLI's drain summary, tests).
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_json()
     }
 
     /// Begin graceful drain: stop accepting connections and refuse
@@ -308,6 +356,7 @@ fn accept_loop(shared: Arc<NetShared>, listener: TcpListener) {
         span.arg("active", active);
         if active >= shared.config.max_connections {
             good_trace::counter_add("net/shed", 1);
+            LIVE_SHED.incr();
             span.arg("shed", true);
             let _ = shed(
                 &stream,
@@ -335,11 +384,14 @@ fn accept_loop(shared: Arc<NetShared>, listener: TcpListener) {
                 registry.active.insert(id, handle);
                 shared.total_accepted.fetch_add(1, Ordering::Relaxed);
                 good_trace::gauge_set("net/connections", registry.streams.len() as i64);
+                LIVE_CONNECTIONS.set(registry.streams.len() as i64);
+                LIVE_ACCEPTED.incr();
             }
             Err(_) => {
                 // Spawn failure is load: shed like a full house (the
                 // registered clone still points at the same socket).
                 good_trace::counter_add("net/shed", 1);
+                LIVE_SHED.incr();
                 let _ = shed(
                     &registered,
                     &shared.config,
@@ -468,8 +520,27 @@ fn handle_conn(shared: Arc<NetShared>, id: u64, stream: TcpStream) {
             shared.finish_conn(id);
             return;
         }
+        Err(ProtoError::Version { got, want }) => {
+            // Forward compatibility: a peer speaking another protocol
+            // revision (e.g. a newer client) gets a clean typed reply
+            // naming the revision this build wants — not a silent
+            // connection drop.
+            LIVE_VERSION_REJECT.incr();
+            let _ = writer.send(&Frame::Err {
+                request: 0,
+                code: ErrCode::UnsupportedVersion,
+                retry_after_ms: 0,
+                detail: format!("peer speaks protocol version {got}, this server wants {want}"),
+            });
+            let _ = writer.send(&Frame::Goodbye {
+                reason: "protocol version mismatch".into(),
+            });
+            shared.finish_conn(id);
+            return;
+        }
         Err(err) => {
             good_trace::counter_add("net/bad_frame", 1);
+            LIVE_BAD_FRAME.incr();
             let _ = writer.send(&Frame::Err {
                 request: 0,
                 code: ErrCode::BadRequest,
@@ -496,7 +567,7 @@ fn handle_conn(shared: Arc<NetShared>, id: u64, stream: TcpStream) {
 
     // ---- ack pump: redeems tickets in submission order.
     let inflight = Arc::new(AtomicUsize::new(0));
-    let (ticket_tx, ticket_rx) = mpsc::channel::<(u64, Ticket)>();
+    let (ticket_tx, ticket_rx) = mpsc::channel::<(u64, Option<u64>, Ticket)>();
     let pump = {
         let server_shared = Arc::clone(&shared);
         let pump_writer = writer.clone();
@@ -516,9 +587,20 @@ fn handle_conn(shared: Arc<NetShared>, id: u64, stream: TcpStream) {
                     buffer.clear();
                     let mut pair = Some(first);
                     let mut batched = 0usize;
-                    while let Some((request, ticket)) = pair {
+                    while let Some((request, trace, ticket)) = pair {
                         let result = server_shared.server.wait(ticket);
                         pump_inflight.fetch_sub(1, Ordering::SeqCst);
+                        LIVE_ACKS.incr();
+                        // Mark the ack instant in the span capture —
+                        // the tail of a wire-traced request's
+                        // timeline.
+                        {
+                            let mut ack_span = good_trace::span("net", "net/ack");
+                            ack_span.arg("request", request);
+                            if let Some(trace_id) = trace {
+                                ack_span.arg("trace", trace_id);
+                            }
+                        }
                         let frame = match result {
                             Ok(ack) => Frame::Ack {
                                 request,
@@ -572,6 +654,7 @@ fn handle_conn(shared: Arc<NetShared>, id: u64, stream: TcpStream) {
             Err(err) => {
                 // Framing is lost; nothing after this can be trusted.
                 good_trace::counter_add("net/bad_frame", 1);
+                LIVE_BAD_FRAME.incr();
                 let _ = writer.send(&Frame::Err {
                     request: 0,
                     code: ErrCode::BadRequest,
@@ -585,9 +668,18 @@ fn handle_conn(shared: Arc<NetShared>, id: u64, stream: TcpStream) {
         let mut frame_span = good_trace::span("net", "net/frame");
         frame_span.arg("type", frame.type_name());
         match frame {
-            Frame::Submit { request, program } => {
+            Frame::Submit {
+                request,
+                program,
+                trace,
+            } => {
+                LIVE_FRAMES_SUBMIT.incr();
+                if let Some(trace_id) = trace {
+                    frame_span.arg("trace", trace_id);
+                }
                 if inflight.load(Ordering::SeqCst) >= shared.config.session_inflight {
                     good_trace::counter_add("net/quota_reject", 1);
+                    LIVE_QUOTA_REJECT.incr();
                     let _ = writer.send(&Frame::Err {
                         request,
                         code: ErrCode::QuotaExceeded,
@@ -599,10 +691,10 @@ fn handle_conn(shared: Arc<NetShared>, id: u64, stream: TcpStream) {
                     });
                     continue;
                 }
-                match shared.server.submit(session, program) {
+                match shared.server.submit_traced(session, program, trace) {
                     Ok(ticket) => {
                         inflight.fetch_add(1, Ordering::SeqCst);
-                        if ticket_tx.send((request, ticket)).is_err() {
+                        if ticket_tx.send((request, trace, ticket)).is_err() {
                             break; // pump died; tear down
                         }
                     }
@@ -615,8 +707,13 @@ fn handle_conn(shared: Arc<NetShared>, id: u64, stream: TcpStream) {
                 request,
                 at,
                 pattern,
+                trace,
             } => {
-                let reply = run_query(&shared, request, at, &pattern);
+                LIVE_FRAMES_QUERY.incr();
+                if let Some(trace_id) = trace {
+                    frame_span.arg("trace", trace_id);
+                }
+                let reply = run_query(&shared, session, request, at, &pattern, trace);
                 if writer.send(&reply).is_err() {
                     break;
                 }
@@ -627,8 +724,18 @@ fn handle_conn(shared: Arc<NetShared>, id: u64, stream: TcpStream) {
                 want_dot,
                 info: None,
             } => {
+                LIVE_FRAMES_SNAPSHOT.incr();
                 let reply = run_snapshot(&shared, request, at, want_dot);
                 if writer.send(&reply).is_err() {
+                    break;
+                }
+            }
+            Frame::Stats { request } => {
+                LIVE_FRAMES_STATS.incr();
+                let started = Instant::now();
+                let json = shared.stats_json();
+                LIVE_STATS_NS.observe(started.elapsed().as_nanos() as u64);
+                if writer.send(&Frame::StatsReply { request, json }).is_err() {
                     break;
                 }
             }
@@ -637,6 +744,7 @@ fn handle_conn(shared: Arc<NetShared>, id: u64, stream: TcpStream) {
                 break;
             }
             other => {
+                LIVE_FRAMES_OTHER.incr();
                 let _ = writer.send(&Frame::Err {
                     request: 0,
                     code: ErrCode::BadRequest,
@@ -687,7 +795,15 @@ fn with_request(frame: Frame, request: u64) -> Frame {
     }
 }
 
-fn run_query(shared: &NetShared, request: u64, at: Option<u64>, pattern_text: &str) -> Frame {
+fn run_query(
+    shared: &NetShared,
+    session: u64,
+    request: u64,
+    at: Option<u64>,
+    pattern_text: &str,
+    trace: Option<u64>,
+) -> Frame {
+    let started = Instant::now();
     let snapshot = match snapshot_for(shared, at) {
         Ok(snapshot) => snapshot,
         Err(err) => return with_request(err, request),
@@ -703,6 +819,7 @@ fn run_query(shared: &NetShared, request: u64, at: Option<u64>, pattern_text: &s
             }
         }
     };
+    let parsed = Instant::now();
     let matchings = match find_matchings(&pattern, snapshot.instance()) {
         Ok(matchings) => matchings,
         Err(err) => {
@@ -714,6 +831,33 @@ fn run_query(shared: &NetShared, request: u64, at: Option<u64>, pattern_text: &s
             }
         }
     };
+    let matched = Instant::now();
+    let total_ns = matched.duration_since(started).as_nanos() as u64;
+    LIVE_QUERY_NS.observe(total_ns);
+    let (slow_query_ns, _) = shared.server.slow_thresholds();
+    if total_ns >= slow_query_ns {
+        // Already slow: re-running the plan profiled to capture
+        // per-step estimated-vs-actual rows costs one more execution
+        // of something that by definition happens rarely.
+        let plan_json =
+            explain_plan_profiled(&pattern, snapshot.instance(), MatchConfig::default())
+                .ok()
+                .map(|plan| plan.to_json());
+        shared.server.slow_log().push(SlowEntry {
+            seq: 0, // assigned by the log
+            kind: SlowKind::Query,
+            trace,
+            session,
+            total_ns,
+            epoch: snapshot.epoch,
+            detail: pattern_text.to_string(),
+            plan_json,
+            stages: vec![
+                ("parse_ns", parsed.duration_since(started).as_nanos() as u64),
+                ("match_ns", matched.duration_since(parsed).as_nanos() as u64),
+            ],
+        });
+    }
     let columns: Vec<String> = names.keys().cloned().collect();
     let rows: Vec<Vec<String>> = matchings
         .iter()

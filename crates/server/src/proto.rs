@@ -9,7 +9,7 @@
 //! frame   := magic version type len payload
 //! magic   := "GOOD"              (4 bytes)
 //! version := 0x01                (1 byte, protocol revision)
-//! type    := 0x01..=0x08         (1 byte, see Frame)
+//! type    := 0x01..=0x0a         (1 byte, see Frame)
 //! len     := u32 LE              (payload byte count, <= MAX_PAYLOAD)
 //! payload := `len` bytes, encoding depending on `type`
 //! ```
@@ -22,6 +22,17 @@
 //! its string field: programs are deep recursive trees and the
 //! engine's serde derives already define a canonical encoding for
 //! them (the same one `save`/`load` use).
+//!
+//! [`Submit`](Frame::Submit) and [`Query`](Frame::Query) end with an
+//! **optional trailing trace id**: a frame may simply stop after its
+//! last mandatory field (the pre-observability encoding, still
+//! produced by old clients and still decoded), or append a `1`
+//! presence byte + `u64 LE` client-assigned trace id. The id rides
+//! the request through the commit pipeline (net reader → queue →
+//! writer batch → fsync → publish → ack) so per-request timelines can
+//! be reconstructed from spans — see DESIGN.md "Observability". A `0`
+//! presence byte is rejected: every value has exactly one encoding,
+//! which keeps the corpus round-trip byte-identical.
 //!
 //! # Robustness contract
 //!
@@ -44,7 +55,10 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 4] = *b"GOOD";
 
 /// The protocol revision this build speaks. A server refuses frames
-/// from any other revision with [`ProtoError::BadVersion`].
+/// from any other revision with [`ProtoError::Version`], and answers a
+/// newer-version `Hello` with a typed [`ErrCode::UnsupportedVersion`]
+/// reply (carrying the version it wants) before closing — a newer
+/// client learns what to downgrade to instead of seeing a bare drop.
 pub const VERSION: u8 = 1;
 
 /// Fixed header size: magic (4) + version (1) + type (1) + len (4).
@@ -75,6 +89,10 @@ pub enum ErrCode {
     Overloaded,
     /// Journal I/O failed; the server refuses further writes.
     Store,
+    /// The peer speaks a protocol revision this build does not. The
+    /// detail string names the wanted revision; the peer should
+    /// downgrade or give up, not retry.
+    UnsupportedVersion,
 }
 
 impl ErrCode {
@@ -95,6 +113,7 @@ impl ErrCode {
             ErrCode::QuotaExceeded => 4,
             ErrCode::Overloaded => 5,
             ErrCode::Store => 6,
+            ErrCode::UnsupportedVersion => 7,
         }
     }
 
@@ -107,6 +126,7 @@ impl ErrCode {
             4 => ErrCode::QuotaExceeded,
             5 => ErrCode::Overloaded,
             6 => ErrCode::Store,
+            7 => ErrCode::UnsupportedVersion,
             _ => return None,
         })
     }
@@ -122,6 +142,7 @@ impl fmt::Display for ErrCode {
             ErrCode::QuotaExceeded => "quota-exceeded",
             ErrCode::Overloaded => "overloaded",
             ErrCode::Store => "store",
+            ErrCode::UnsupportedVersion => "unsupported-version",
         };
         f.write_str(name)
     }
@@ -160,6 +181,11 @@ pub enum Frame {
         request: u64,
         /// The program to commit.
         program: Program,
+        /// Optional client-assigned trace id, propagated through the
+        /// commit pipeline for per-request timeline reconstruction.
+        /// Encoded as a trailing field; old frames without it decode
+        /// as `None`.
+        trace: Option<u64>,
     },
     /// The writer's acknowledgement of a [`Frame::Submit`].
     Ack {
@@ -193,6 +219,9 @@ pub enum Frame {
         at: Option<u64>,
         /// Pattern text in the CLI's `match { … }` body grammar.
         pattern: String,
+        /// Optional client-assigned trace id (trailing field, like
+        /// [`Frame::Submit`]'s).
+        trace: Option<u64>,
     },
     /// The server's answer to a [`Frame::Query`].
     Rows {
@@ -225,6 +254,21 @@ pub enum Frame {
         /// Why the stream is closing.
         reason: String,
     },
+    /// Ask the server for its live introspection snapshot: metrics,
+    /// MVCC ring state, admission control, and the slow-query ring.
+    /// Served by the connection's reader thread off the commit path.
+    Stats {
+        /// Client-chosen correlation id, echoed in the reply.
+        request: u64,
+    },
+    /// The server's answer to a [`Frame::Stats`] request.
+    StatsReply {
+        /// The correlation id of the stats request being answered.
+        request: u64,
+        /// The introspection snapshot as a JSON object — see
+        /// DESIGN.md "Observability" for the schema.
+        json: String,
+    },
 }
 
 impl Frame {
@@ -239,6 +283,8 @@ impl Frame {
             Frame::Rows { .. } => 6,
             Frame::Err { .. } => 7,
             Frame::Goodbye { .. } => 8,
+            Frame::Stats { .. } => 9,
+            Frame::StatsReply { .. } => 10,
         }
     }
 
@@ -253,6 +299,8 @@ impl Frame {
             Frame::Rows { .. } => "Rows",
             Frame::Err { .. } => "Err",
             Frame::Goodbye { .. } => "Goodbye",
+            Frame::Stats { .. } => "Stats",
+            Frame::StatsReply { .. } => "StatsReply",
         }
     }
 }
@@ -275,11 +323,16 @@ pub enum ProtoError {
         /// The bytes found instead.
         [u8; 4],
     ),
-    /// The version byte is not [`VERSION`].
-    BadVersion(
-        /// The version found.
-        u8,
-    ),
+    /// The version byte is not the revision this build speaks. Carries
+    /// both sides of the mismatch so the refusal can tell the peer
+    /// which revision to downgrade to (forward compatibility: a
+    /// newer-version `Hello` gets a typed reply, not a silent drop).
+    Version {
+        /// The version the peer sent.
+        got: u8,
+        /// The version this build speaks ([`VERSION`]).
+        want: u8,
+    },
     /// The type byte names no known frame.
     UnknownFrame(
         /// The type byte found.
@@ -317,8 +370,8 @@ impl fmt::Display for ProtoError {
                 write!(f, "truncated frame: need {needed} bytes, have {have}")
             }
             ProtoError::BadMagic(found) => write!(f, "bad magic {found:02x?}"),
-            ProtoError::BadVersion(found) => {
-                write!(f, "unsupported protocol version {found} (want {VERSION})")
+            ProtoError::Version { got, want } => {
+                write!(f, "unsupported protocol version {got} (want {want})")
             }
             ProtoError::UnknownFrame(found) => write!(f, "unknown frame type {found:#04x}"),
             ProtoError::Oversized { len, max } => {
@@ -364,15 +417,30 @@ fn put_opt_u64(out: &mut Vec<u8>, value: Option<u64>) {
     }
 }
 
+/// Trailing optional trace id: `None` is encoded as *no bytes at all*
+/// (the pre-observability frame layout), `Some` as a `1` byte + u64.
+/// This keeps every old frame byte-identical under re-encode.
+fn put_trace(out: &mut Vec<u8>, trace: Option<u64>) {
+    if let Some(id) = trace {
+        out.push(1);
+        put_u64(out, id);
+    }
+}
+
 fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::new();
     match frame {
         Frame::Hello { session } => put_u64(&mut out, *session),
-        Frame::Submit { request, program } => {
+        Frame::Submit {
+            request,
+            program,
+            trace,
+        } => {
             put_u64(&mut out, *request);
             let json = serde_json::to_string(program)
                 .expect("programs always serialize: their serde encoding is total");
             put_str(&mut out, &json);
+            put_trace(&mut out, *trace);
         }
         Frame::Ack {
             request,
@@ -424,10 +492,12 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             request,
             at,
             pattern,
+            trace,
         } => {
             put_u64(&mut out, *request);
             put_opt_u64(&mut out, *at);
             put_str(&mut out, pattern);
+            put_trace(&mut out, *trace);
         }
         Frame::Rows {
             request,
@@ -461,6 +531,11 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_str(&mut out, detail);
         }
         Frame::Goodbye { reason } => put_str(&mut out, reason),
+        Frame::Stats { request } => put_u64(&mut out, *request),
+        Frame::StatsReply { request, json } => {
+            put_u64(&mut out, *request);
+            put_str(&mut out, json);
+        }
     }
     out
 }
@@ -473,12 +548,13 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
 /// Encode a `Submit` from a borrowed [`Program`] — the pipelined
 /// client's hot path, sparing the deep clone that building a
 /// [`Frame::Submit`] would take.
-pub fn encode_submit(request: u64, program: &Program) -> Vec<u8> {
+pub fn encode_submit(request: u64, program: &Program, trace: Option<u64>) -> Vec<u8> {
     let mut payload = Vec::new();
     put_u64(&mut payload, request);
     let json = serde_json::to_string(program)
         .expect("programs always serialize: their serde encoding is total");
     put_str(&mut payload, &json);
+    put_trace(&mut payload, trace);
     frame_bytes(2, payload)
 }
 
@@ -562,6 +638,20 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// The trailing optional trace id: payload exhausted means `None`
+    /// (old-layout frame); otherwise a mandatory `1` presence byte +
+    /// u64. A `0` presence byte is rejected so each value has exactly
+    /// one encoding (see `put_trace`).
+    fn trailing_trace(&mut self) -> Result<Option<u64>, ProtoError> {
+        if self.remaining() == 0 {
+            return Ok(None);
+        }
+        match self.u8()? {
+            1 => Ok(Some(self.u64()?)),
+            other => Err(self.fail(format!("bad trailing trace presence byte {other:#04x}"))),
+        }
+    }
+
     fn string(&mut self) -> Result<String, ProtoError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
@@ -601,6 +691,8 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
         6 => "Rows",
         7 => "Err",
         8 => "Goodbye",
+        9 => "Stats",
+        10 => "StatsReply",
         other => return Err(ProtoError::UnknownFrame(other)),
     };
     let mut cur = Cursor::new(payload, frame_name);
@@ -613,7 +705,12 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
             let json = cur.string()?;
             let program: Program = serde_json::from_str(&json)
                 .map_err(|err| cur.fail(format!("program JSON: {err}")))?;
-            Frame::Submit { request, program }
+            let trace = cur.trailing_trace()?;
+            Frame::Submit {
+                request,
+                program,
+                trace,
+            }
         }
         3 => {
             let request = cur.u64()?;
@@ -661,6 +758,7 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
             request: cur.u64()?,
             at: cur.opt_u64()?,
             pattern: cur.string()?,
+            trace: cur.trailing_trace()?,
         },
         6 => {
             let request = cur.u64()?;
@@ -702,6 +800,13 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
         8 => Frame::Goodbye {
             reason: cur.string()?,
         },
+        9 => Frame::Stats {
+            request: cur.u64()?,
+        },
+        10 => Frame::StatsReply {
+            request: cur.u64()?,
+            json: cur.string()?,
+        },
         _ => unreachable!("type byte validated above"),
     };
     cur.finish()?;
@@ -716,10 +821,13 @@ fn decode_header(header: &[u8]) -> Result<(u8, usize), ProtoError> {
         return Err(ProtoError::BadMagic(magic));
     }
     if header[4] != VERSION {
-        return Err(ProtoError::BadVersion(header[4]));
+        return Err(ProtoError::Version {
+            got: header[4],
+            want: VERSION,
+        });
     }
     let type_byte = header[5];
-    if !(1..=8).contains(&type_byte) {
+    if !(1..=10).contains(&type_byte) {
         return Err(ProtoError::UnknownFrame(type_byte));
     }
     let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;

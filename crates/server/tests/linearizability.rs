@@ -179,6 +179,7 @@ fn held_snapshot_survives_ring_trims_bit_identically() {
             // tight ring so the held epoch is trimmed quickly.
             max_batch: 1,
             retain_versions: 2,
+            ..ServerConfig::default()
         },
     );
     let session = server.open_session();

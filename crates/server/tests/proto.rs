@@ -21,6 +21,7 @@ fn sample_frames(seed: u64) -> Vec<Frame> {
         Frame::Submit {
             request: seed,
             program,
+            trace: seed.is_multiple_of(2).then_some(seed ^ 0xD1CE),
         },
         Frame::Ack {
             request: seed,
@@ -53,6 +54,7 @@ fn sample_frames(seed: u64) -> Vec<Frame> {
             request: seed,
             at: seed.is_multiple_of(4).then_some(seed),
             pattern: format!("i: Info; s: String = \"x{seed}\"; i -name-> s;"),
+            trace: seed.is_multiple_of(3).then_some(seed.wrapping_mul(31)),
         },
         Frame::Rows {
             request: seed,
@@ -79,6 +81,11 @@ fn sample_frames(seed: u64) -> Vec<Frame> {
         },
         Frame::Goodbye {
             reason: format!("reason {seed}"),
+        },
+        Frame::Stats { request: seed },
+        Frame::StatsReply {
+            request: seed,
+            json: format!("{{\"server\":{{\"epoch\":{seed}}}}}"),
         },
     ]
 }
@@ -191,7 +198,7 @@ fn bad_magic_version_and_type_are_typed() {
     bad_version[4] = VERSION + 1;
     assert!(matches!(
         decode(&bad_version),
-        Err(ProtoError::BadVersion(v)) if v == VERSION + 1
+        Err(ProtoError::Version { got, want }) if got == VERSION + 1 && want == VERSION
     ));
 
     let mut bad_type = good.clone();
@@ -276,6 +283,84 @@ fn submit_with_garbage_json_is_malformed_not_a_panic() {
     bytes.extend_from_slice(&payload);
     assert!(matches!(
         decode(&bytes),
+        Err(ProtoError::Malformed {
+            frame: "Submit",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn untraced_submit_and_query_use_the_v0_layout() {
+    // A Submit/Query without a trace id must encode with zero trailing
+    // bytes — byte-identical to what a pre-tracing peer emits — and an
+    // old-layout frame must decode with `trace: None`. This is the
+    // wire-compat contract: tracing is opt-in per frame, not a version
+    // bump.
+    let program = random_workload(5, 1).remove(0);
+    let submit = Frame::Submit {
+        request: 5,
+        program,
+        trace: None,
+    };
+    let bytes = encode(&submit);
+    // Reconstruct the old layout by hand: request u64 + len-prefixed
+    // program JSON, nothing after.
+    let json_len = u32::from_le_bytes(bytes[HEADER_LEN + 8..HEADER_LEN + 12].try_into().unwrap());
+    assert_eq!(
+        bytes.len(),
+        HEADER_LEN + 8 + 4 + json_len as usize,
+        "untraced Submit must carry no trailing trace bytes"
+    );
+    let (decoded, _) = decode(&bytes).expect("v0-layout Submit decodes");
+    match &decoded {
+        Frame::Submit { trace, .. } => assert_eq!(*trace, None),
+        other => panic!("decoded {}", other.type_name()),
+    }
+    assert_eq!(encode(&decoded), bytes);
+
+    let query = Frame::Query {
+        request: 6,
+        at: None,
+        pattern: "i: Info;".into(),
+        trace: None,
+    };
+    let bytes = encode(&query);
+    let (decoded, _) = decode(&bytes).expect("v0-layout Query decodes");
+    match &decoded {
+        Frame::Query { trace, .. } => assert_eq!(*trace, None),
+        other => panic!("decoded {}", other.type_name()),
+    }
+    assert_eq!(encode(&decoded), bytes);
+}
+
+#[test]
+fn traced_submit_round_trips_and_zero_presence_byte_is_rejected() {
+    let program = random_workload(7, 1).remove(0);
+    let traced = Frame::Submit {
+        request: 7,
+        program,
+        trace: Some(0xFEED_BEEF_u64),
+    };
+    let bytes = encode(&traced);
+    let (decoded, consumed) = decode(&bytes).expect("traced Submit decodes");
+    assert_eq!(consumed, bytes.len());
+    match &decoded {
+        Frame::Submit { trace, .. } => assert_eq!(*trace, Some(0xFEED_BEEF_u64)),
+        other => panic!("decoded {}", other.type_name()),
+    }
+    assert_eq!(encode(&decoded), bytes);
+
+    // The encoding is canonical: absence is *zero* bytes, so a `0`
+    // presence byte (an alternate spelling of "no trace") is malformed.
+    let mut zero_presence = bytes.clone();
+    // Strip `1 + u64` and append a lone `0`, fixing the length field.
+    zero_presence.truncate(bytes.len() - 9);
+    zero_presence.push(0);
+    let len = (zero_presence.len() - HEADER_LEN) as u32;
+    zero_presence[6..10].copy_from_slice(&len.to_le_bytes());
+    assert!(matches!(
+        decode(&zero_presence),
         Err(ProtoError::Malformed {
             frame: "Submit",
             ..
@@ -370,6 +455,18 @@ fn corpus_entries() -> Vec<(String, Vec<u8>)> {
     bad_code.extend_from_slice(&(err_payload.len() as u32).to_le_bytes());
     bad_code.extend_from_slice(&err_payload);
     entries.push(("err-bad-error-code.bin".into(), bad_code));
+    // A Submit spelling "no trace id" as an explicit 0 presence byte:
+    // the canonical encoding is zero trailing bytes, so this variant
+    // must be rejected (otherwise re-encode would not be byte-stable).
+    let mut zero_trace = encode(&Frame::Submit {
+        request: 11,
+        program: random_workload(11, 1).remove(0),
+        trace: None,
+    });
+    zero_trace.push(0);
+    let len = (zero_trace.len() - HEADER_LEN) as u32;
+    zero_trace[6..10].copy_from_slice(&len.to_le_bytes());
+    entries.push(("err-zero-trace-presence-byte.bin".into(), zero_trace));
     entries
 }
 
@@ -451,7 +548,7 @@ proptest! {
             Err(err) => prop_assert!(!err.to_string().is_empty()),
         }
         // Same soup as a claimed-valid payload of every frame type.
-        for type_byte in 1u8..=8 {
+        for type_byte in 1u8..=10 {
             let mut framed = Vec::with_capacity(HEADER_LEN + bytes.len());
             framed.extend_from_slice(&MAGIC);
             framed.push(VERSION);

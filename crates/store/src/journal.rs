@@ -188,10 +188,16 @@ pub(crate) fn write_record(file: &mut dyn VfsFile, record: &LogRecord) -> Result
 }
 
 /// fdatasync the journal file — one call per committed unit, however
-/// many records it spans.
+/// many records it spans. Always-on fsync latency feeds the live
+/// `store/fsync_ns` histogram (served by the server's stats frame);
+/// the `store/fsync` span additionally captures it when tracing.
 pub(crate) fn sync_file(file: &mut dyn VfsFile) -> Result<()> {
+    static LIVE_FSYNC_NS: good_trace::LiveHistogram =
+        good_trace::LiveHistogram::new("store/fsync_ns");
     let _fsync_span = good_trace::span("store", "store/fsync");
+    let started = std::time::Instant::now();
     file.sync_data()?;
+    LIVE_FSYNC_NS.observe(started.elapsed().as_nanos() as u64);
     Ok(())
 }
 

@@ -23,11 +23,24 @@
 //!    state, and completed spans are delivered straight to the installed
 //!    [`Recorder`], so nothing is lost when a scoped thread exits.
 //!
-//! Alongside spans there is a process-wide metrics registry (counters,
-//! gauges, and power-of-two latency histograms — see [`counter_add`],
-//! [`gauge_set`], [`observe_ns`]) snapshotable as JSON, and two
-//! renderers: an indented text report and Chrome `trace_event` JSON
-//! loadable in `chrome://tracing` / Perfetto ([`chrome_trace_json`]).
+//! Alongside spans there are **two** metrics registries:
+//!
+//! * the recorder-gated registry ([`counter_add`], [`gauge_set`],
+//!   [`observe_ns`]) — mutation is a no-op unless a recorder is
+//!   installed, preserving the zero-cost-off contract for
+//!   profiling-grade metrics;
+//! * the **always-on live registry** ([`LiveCounter`], [`LiveGauge`],
+//!   [`LiveHistogram`]) — lock-light atomics (counters are sharded by
+//!   thread ordinal) that record whether or not tracing is installed,
+//!   so a production server can answer "what are you doing right now"
+//!   without paying for span capture. E19 in EXPERIMENTS.md bounds the
+//!   cost at ≤2% of wire throughput; [`set_live_metrics`] is the kill
+//!   switch that makes the A/B measurable.
+//!
+//! Both registries snapshot into the same JSON shape
+//! ([`MetricsSnapshot::to_json`]), and two renderers cover spans: an
+//! indented text report and Chrome `trace_event` JSON loadable in
+//! `chrome://tracing` / Perfetto ([`chrome_trace_json`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,7 +48,7 @@
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -638,19 +651,30 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, count)| **count > 0)
-            .map(|(index, count)| {
-                // Inclusive ("le") upper bound of bucket `index`: bucket 0
-                // holds only zeros; bucket i holds [2^(i-1), 2^i).
-                let upper = if index == 0 {
-                    0
-                } else if index >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << index) - 1
-                };
-                (upper, *count)
-            })
+            .map(|(index, count)| (bucket_upper(index), *count))
             .collect()
+    }
+
+    /// Copy into the registry-independent snapshot form.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            buckets: self.nonzero_buckets(),
+        }
+    }
+}
+
+/// Inclusive ("le") upper bound of power-of-two bucket `index`: bucket
+/// 0 holds only zeros; bucket i holds `[2^(i-1), 2^i)`.
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
     }
 }
 
@@ -722,54 +746,440 @@ pub fn metrics_reset() {
     registry().inner.lock().expect("metrics poisoned").clear();
 }
 
-/// Snapshot the registry as a JSON object:
-/// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,"sum":..,"max":..,"buckets":[[le,count],..]}}}`.
-pub fn metrics_snapshot_json() -> String {
+/// Snapshot the recorder-gated registry into the shared form.
+pub fn metrics_snapshot() -> MetricsSnapshot {
     let inner = registry().inner.lock().expect("metrics poisoned");
-    let mut counters = String::new();
-    let mut gauges = String::new();
-    let mut histograms = String::new();
+    let mut snapshot = MetricsSnapshot::default();
     for (name, metric) in inner.iter() {
         match metric {
-            Metric::Counter(total) => {
-                if !counters.is_empty() {
-                    counters.push(',');
-                }
-                counters.push('"');
-                escape_json(name, &mut counters);
-                counters.push_str(&format!("\":{total}"));
-            }
-            Metric::Gauge(value) => {
-                if !gauges.is_empty() {
-                    gauges.push(',');
-                }
-                gauges.push('"');
-                escape_json(name, &mut gauges);
-                gauges.push_str(&format!("\":{value}"));
-            }
-            Metric::Histogram(histogram) => {
-                if !histograms.is_empty() {
-                    histograms.push(',');
-                }
-                histograms.push('"');
-                escape_json(name, &mut histograms);
-                histograms.push_str(&format!(
-                    "\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
-                    histogram.count, histogram.sum, histogram.max
-                ));
-                for (index, (upper, count)) in histogram.nonzero_buckets().iter().enumerate() {
-                    if index > 0 {
-                        histograms.push(',');
-                    }
-                    histograms.push_str(&format!("[{upper},{count}]"));
-                }
-                histograms.push_str("]}");
-            }
+            Metric::Counter(total) => snapshot.counters.push((name.to_string(), *total)),
+            Metric::Gauge(value) => snapshot.gauges.push((name.to_string(), *value)),
+            Metric::Histogram(histogram) => snapshot
+                .histograms
+                .push((name.to_string(), histogram.snapshot())),
         }
     }
-    format!(
-        "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
-    )
+    snapshot
+}
+
+/// Snapshot the recorder-gated registry as a JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,"sum":..,"max":..,"buckets":[[le,count],..]}}}`.
+pub fn metrics_snapshot_json() -> String {
+    metrics_snapshot().to_json()
+}
+
+// ---- metrics snapshot (shared JSON shape) -------------------------------
+
+/// A registry-independent histogram snapshot: total count, saturating
+/// sum, max, and the non-empty `(inclusive upper bound, count)` buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs,
+    /// ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (0 when the histogram is empty). Power-of-two buckets make this
+    /// an upper estimate within 2x of the true quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (upper, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return (*upper).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A point-in-time copy of a metrics registry — either the
+/// recorder-gated one ([`metrics_snapshot`]) or the always-on live one
+/// ([`live_metrics_snapshot`]) — that renders to the stable JSON shape
+/// consumed by the stats wire frame and the CLI.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Power-of-two histograms by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Fold `other` into `self` and restore name order. Entries with
+    /// the same name are kept from `self` (first writer wins).
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        fn fold<T>(into: &mut Vec<(String, T)>, from: Vec<(String, T)>) {
+            for (name, value) in from {
+                if !into.iter().any(|(existing, _)| *existing == name) {
+                    into.push((name, value));
+                }
+            }
+            into.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        fold(&mut self.counters, other.counters);
+        fold(&mut self.gauges, other.gauges);
+        fold(&mut self.histograms, other.histograms);
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(existing, _)| existing == name)
+            .map(|(_, histogram)| histogram)
+    }
+
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(existing, _)| existing == name)
+            .map(|(_, total)| *total)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(existing, _)| existing == name)
+            .map(|(_, value)| *value)
+    }
+
+    /// Render as a JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,"sum":..,"max":..,"buckets":[[le,count],..]}}}`.
+    /// Names are escaped, so arbitrary strings stay parseable.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        for (index, (name, total)) in self.counters.iter().enumerate() {
+            if index > 0 {
+                counters.push(',');
+            }
+            counters.push('"');
+            escape_json(name, &mut counters);
+            counters.push_str(&format!("\":{total}"));
+        }
+        let mut gauges = String::new();
+        for (index, (name, value)) in self.gauges.iter().enumerate() {
+            if index > 0 {
+                gauges.push(',');
+            }
+            gauges.push('"');
+            escape_json(name, &mut gauges);
+            gauges.push_str(&format!("\":{value}"));
+        }
+        let mut histograms = String::new();
+        for (index, (name, histogram)) in self.histograms.iter().enumerate() {
+            if index > 0 {
+                histograms.push(',');
+            }
+            histograms.push('"');
+            escape_json(name, &mut histograms);
+            histograms.push_str(&format!(
+                "\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                histogram.count, histogram.sum, histogram.max
+            ));
+            for (bucket_index, (upper, count)) in histogram.buckets.iter().enumerate() {
+                if bucket_index > 0 {
+                    histograms.push(',');
+                }
+                histograms.push_str(&format!("[{upper},{count}]"));
+            }
+            histograms.push_str("]}");
+        }
+        format!(
+            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
+        )
+    }
+}
+
+/// Escape `text` for embedding inside a JSON string literal (quotes
+/// not included). Shared by every hand-rolled JSON emitter in the
+/// workspace so escaping bugs have one home.
+pub fn escape_json_str(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    escape_json(text, &mut out);
+    out
+}
+
+// ---- always-on live metrics ---------------------------------------------
+//
+// Unlike the recorder-gated registry above, these record even when no
+// `Recorder` is installed: a production server needs frame counts,
+// queue depth, and stage latencies at all times, not only while
+// profiling. The design keeps the hot path lock-free:
+//
+//   * counters are sharded `AtomicU64`s (indexed by thread ordinal) so
+//     concurrent connection threads never contend on one cache line;
+//   * histograms are fixed arrays of atomics (pow2 buckets, same shape
+//     as `Histogram`);
+//   * metrics are `static`s registered lazily into a global list on
+//     first touch — one mutex acquisition per metric per process, then
+//     never again (a relaxed flag short-circuits).
+//
+// `set_live_metrics(false)` is the kill switch used by the E19 bench
+// to measure the overhead A/B; the gate in CI holds it at ≤2% of E17
+// pipelined throughput.
+
+static LIVE_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turn the always-on live metrics path on or off (default: on). Only
+/// the E19 overhead bench and tests should ever turn it off.
+pub fn set_live_metrics(on: bool) {
+    LIVE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the live metrics path is recording.
+pub fn live_metrics_enabled() -> bool {
+    LIVE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Shards per [`LiveCounter`]. Eight covers the writer, the ack pumps,
+/// and a handful of reader threads without false sharing mattering.
+const LIVE_SHARDS: usize = 8;
+
+/// One cache line per shard so concurrent `add`s don't ping-pong.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+enum LiveMetric {
+    Counter(&'static LiveCounter),
+    Gauge(&'static LiveGauge),
+    Histogram(&'static LiveHistogram),
+}
+
+fn live_registry() -> &'static Mutex<Vec<LiveMetric>> {
+    static LIVE_REGISTRY: OnceLock<Mutex<Vec<LiveMetric>>> = OnceLock::new();
+    LIVE_REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn live_register(flag: &AtomicBool, metric: impl FnOnce() -> LiveMetric) {
+    if flag.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut registry = live_registry().lock().expect("live registry poisoned");
+    if !flag.load(Ordering::Relaxed) {
+        registry.push(metric());
+        flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A monotonically increasing counter, sharded across cache lines.
+/// Declare as a `static` and call [`LiveCounter::add`] from any thread.
+pub struct LiveCounter {
+    name: &'static str,
+    registered: AtomicBool,
+    shards: [PaddedU64; LIVE_SHARDS],
+}
+
+impl LiveCounter {
+    /// Const-construct (for `static` declarations).
+    pub const fn new(name: &'static str) -> LiveCounter {
+        LiveCounter {
+            name,
+            registered: AtomicBool::new(false),
+            shards: [const { PaddedU64(AtomicU64::new(0)) }; LIVE_SHARDS],
+        }
+    }
+
+    /// Add `delta`. Lock-free after the first call process-wide.
+    pub fn add(&'static self, delta: u64) {
+        if !live_metrics_enabled() {
+            return;
+        }
+        live_register(&self.registered, || LiveMetric::Counter(self));
+        let shard = thread_ord() as usize % LIVE_SHARDS;
+        self.shards[shard].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current total across shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            shard.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time gauge (queue depth, connection count). Declare as a
+/// `static` and call [`LiveGauge::set`] / [`LiveGauge::add`].
+pub struct LiveGauge {
+    name: &'static str,
+    registered: AtomicBool,
+    value: AtomicI64,
+}
+
+impl LiveGauge {
+    /// Const-construct (for `static` declarations).
+    pub const fn new(name: &'static str) -> LiveGauge {
+        LiveGauge {
+            name,
+            registered: AtomicBool::new(false),
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Set the current value.
+    pub fn set(&'static self, value: i64) {
+        if !live_metrics_enabled() {
+            return;
+        }
+        live_register(&self.registered, || LiveMetric::Gauge(self));
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adjust the current value by `delta` (connection open/close).
+    pub fn add(&'static self, delta: i64) {
+        if !live_metrics_enabled() {
+            return;
+        }
+        live_register(&self.registered, || LiveMetric::Gauge(self));
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A power-of-two histogram of atomics: same bucket layout as
+/// [`Histogram`], safe to observe into from any thread without locks.
+pub struct LiveHistogram {
+    name: &'static str,
+    registered: AtomicBool,
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LiveHistogram {
+    /// Const-construct (for `static` declarations).
+    pub const fn new(name: &'static str) -> LiveHistogram {
+        LiveHistogram {
+            name,
+            registered: AtomicBool::new(false),
+            buckets: [const { AtomicU64::new(0) }; 65],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (typically nanoseconds).
+    pub fn observe(&'static self, value: u64) {
+        if !live_metrics_enabled() {
+            return;
+        }
+        live_register(&self.registered, || LiveMetric::Histogram(self));
+        let index = (64 - value.leading_zeros()) as usize;
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Copy into the registry-independent snapshot form. Concurrent
+    /// `observe` calls may straddle the copy; each bucket read is
+    /// itself consistent, which is all the JSON consumers need.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                buckets.push((bucket_upper(index), count));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot every live metric touched so far, sorted by name.
+pub fn live_metrics_snapshot() -> MetricsSnapshot {
+    let registry = live_registry().lock().expect("live registry poisoned");
+    let mut snapshot = MetricsSnapshot::default();
+    for metric in registry.iter() {
+        match metric {
+            LiveMetric::Counter(counter) => snapshot
+                .counters
+                .push((counter.name.to_string(), counter.get())),
+            LiveMetric::Gauge(gauge) => snapshot.gauges.push((gauge.name.to_string(), gauge.get())),
+            LiveMetric::Histogram(histogram) => snapshot
+                .histograms
+                .push((histogram.name.to_string(), histogram.snapshot())),
+        }
+    }
+    snapshot.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snapshot.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snapshot.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    snapshot
+}
+
+/// [`live_metrics_snapshot`] rendered as JSON.
+pub fn live_metrics_snapshot_json() -> String {
+    live_metrics_snapshot().to_json()
+}
+
+/// Zero every live metric (the metrics stay registered). For tests and
+/// the E19 bench; production servers never reset.
+pub fn live_metrics_reset() {
+    let registry = live_registry().lock().expect("live registry poisoned");
+    for metric in registry.iter() {
+        match metric {
+            LiveMetric::Counter(counter) => counter.reset(),
+            LiveMetric::Gauge(gauge) => gauge.reset(),
+            LiveMetric::Histogram(histogram) => histogram.reset(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -966,5 +1376,107 @@ mod tests {
         uninstall();
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn live_metrics_record_without_a_recorder() {
+        let _guard = lock();
+        uninstall(); // explicitly no recorder: live metrics still record
+        static HITS: LiveCounter = LiveCounter::new("test.live.hits");
+        static DEPTH_GAUGE: LiveGauge = LiveGauge::new("test.live.depth");
+        static LAT: LiveHistogram = LiveHistogram::new("test.live.lat");
+        live_metrics_reset();
+        HITS.add(2);
+        HITS.incr();
+        DEPTH_GAUGE.set(10);
+        DEPTH_GAUGE.add(-3);
+        LAT.observe(1000);
+        LAT.observe(1500);
+        assert_eq!(HITS.get(), 3);
+        assert_eq!(DEPTH_GAUGE.get(), 7);
+        let snapshot = live_metrics_snapshot();
+        assert_eq!(snapshot.counter("test.live.hits"), Some(3));
+        assert_eq!(snapshot.gauge("test.live.depth"), Some(7));
+        let lat = snapshot.histogram("test.live.lat").expect("lat registered");
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.max, 1500);
+        assert_eq!(lat.sum, 2500);
+        let json = live_metrics_snapshot_json();
+        assert!(json.contains("\"test.live.hits\":3"), "{json}");
+        live_metrics_reset();
+        assert_eq!(HITS.get(), 0);
+        // Reset keeps registration: the name still appears, zeroed.
+        assert_eq!(live_metrics_snapshot().counter("test.live.hits"), Some(0));
+    }
+
+    #[test]
+    fn live_metrics_kill_switch() {
+        let _guard = lock();
+        static OFF_HITS: LiveCounter = LiveCounter::new("test.live.off");
+        live_metrics_reset();
+        set_live_metrics(false);
+        OFF_HITS.add(5);
+        set_live_metrics(true);
+        assert_eq!(OFF_HITS.get(), 0);
+        OFF_HITS.add(5);
+        assert_eq!(OFF_HITS.get(), 5);
+        live_metrics_reset();
+    }
+
+    #[test]
+    fn live_counter_shards_sum_across_threads() {
+        let _guard = lock();
+        static SHARDED: LiveCounter = LiveCounter::new("test.live.sharded");
+        live_metrics_reset();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        SHARDED.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(SHARDED.get(), 8000);
+        live_metrics_reset();
+    }
+
+    #[test]
+    fn histogram_snapshot_quantiles() {
+        let mut histogram = Histogram::default();
+        for _ in 0..90 {
+            histogram.observe(100); // le 127
+        }
+        for _ in 0..10 {
+            histogram.observe(10_000); // le 16383
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.quantile(0.5), 127);
+        assert_eq!(snapshot.quantile(0.99), 10_000); // capped at max
+        assert_eq!(snapshot.quantile(1.0), 10_000);
+        assert_eq!(snapshot.mean(), (90 * 100 + 10 * 10_000) / 100);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_merge_prefers_first() {
+        let mut base = MetricsSnapshot {
+            counters: vec![("b".into(), 1), ("a".into(), 2)],
+            ..Default::default()
+        };
+        base.merge(MetricsSnapshot {
+            counters: vec![("a".into(), 99), ("c".into(), 3)],
+            ..Default::default()
+        });
+        assert_eq!(
+            base.counters,
+            vec![("a".into(), 2), ("b".into(), 1), ("c".into(), 3)]
+        );
+    }
+
+    #[test]
+    fn escape_json_str_handles_controls() {
+        assert_eq!(escape_json_str("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json_str("\u{1}"), "\\u0001");
     }
 }

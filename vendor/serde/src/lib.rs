@@ -44,6 +44,117 @@ impl Content {
             Content::Map(_) => "map",
         }
     }
+
+    // Navigation helpers (the `serde_json::Value` idiom) so callers can
+    // walk schemaless documents — e.g. a stats snapshot — without
+    // deriving a struct for every shape.
+
+    /// Map member by key; `None` for non-maps and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Sequence element by index; `None` for non-sequences and OOB.
+    pub fn at(&self, index: usize) -> Option<&Content> {
+        match self {
+            Content::Seq(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as u64, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as i64, if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::Int(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as f64 (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::Float(f) => Some(*f),
+            Content::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The sequence items, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// True for `Content::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+}
+
+/// Sentinel for total indexing: missing members index to `Null`.
+static NULL_CONTENT: Content = Content::Null;
+
+// Total indexing, as on `serde_json::Value`: `doc["a"]["b"][0]` walks
+// the tree and yields `Null` (not a panic) anywhere the path misses.
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, index: usize) -> &Content {
+        self.at(index).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+// `Content` round-trips through itself, so `serde_json::from_str::<
+// Content>` parses arbitrary JSON into the dynamic tree — the
+// stand-in's equivalent of parsing to `serde_json::Value`.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
 }
 
 /// Total order over contents, used to give `HashMap`/`HashSet`

@@ -9,6 +9,11 @@
 use serde::{Content, Deserialize, Serialize};
 use std::fmt;
 
+/// Dynamic JSON document — upstream `serde_json` calls this `Value`.
+/// Parse with `from_str::<Value>(..)`, then walk with `doc["key"]`,
+/// `.as_u64()`, `.as_seq()`, and friends.
+pub use serde::Content as Value;
+
 /// JSON serialization / deserialization error.
 #[derive(Debug, Clone)]
 pub struct Error {
