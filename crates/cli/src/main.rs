@@ -8,6 +8,7 @@
 //! good-db serve --sessions 4   # scripted multi-session server run
 //! good-db serve --listen 127.0.0.1:7411   # TCP wire-protocol server
 //! good-db client 127.0.0.1:7411 --programs 8 --snapshot
+//! good-db client 127.0.0.1:7411 --query-text "MATCH (a:Info) RETURN a"
 //! good-db client 127.0.0.1:7411 --programs 0 --stats   # introspection snapshot
 //! good-db top 127.0.0.1:7411 --interval-ms 500         # live dashboard
 //! ```
@@ -429,12 +430,16 @@ fn client_exit_code(err: &good_server::client::ClientError) -> i32 {
 }
 
 /// `good-db client ADDR [--programs N] [--seed S] [--retries R]
-/// [--query PATTERN] [--snapshot] [--dot] [--stats]`
+/// [--query PATTERN] [--query-text GOODQL] [--snapshot] [--dot]
+/// [--stats]`
 ///
 /// Scripted wire-protocol client: connects, submits N programs of the
 /// deterministic `random_workload` (riding out retryable refusals up
-/// to R times each), optionally runs a pattern query and a snapshot
-/// read, then says goodbye. Prints one line per acknowledgement.
+/// to R times each), optionally runs a pattern query (`--query` takes
+/// the textual pattern syntax, `--query-text` a GOODQL
+/// MATCH/WHERE/RETURN query — both travel in the same Query frame) and
+/// a snapshot read, then says goodbye. Prints one line per
+/// acknowledgement.
 /// `--stats` fetches the server's introspection snapshot (counters,
 /// gauges, latency histograms, MVCC ring, slow-query log) and
 /// pretty-prints it as JSON; `--programs 0 --stats` is a pure probe.
@@ -451,6 +456,7 @@ fn run_client(args: &[String]) -> i32 {
     let mut seed = 42u64;
     let mut retries = 16usize;
     let mut query: Option<String> = None;
+    let mut query_text: Option<String> = None;
     let mut snapshot = false;
     let mut dot = false;
     let mut stats = false;
@@ -479,6 +485,7 @@ fn run_client(args: &[String]) -> i32 {
             "--seed" => parse!(seed, "--seed"),
             "--retries" => parse!(retries, "--retries"),
             "--query" => query = Some(value("--query")),
+            "--query-text" => query_text = Some(value("--query-text")),
             "--snapshot" => snapshot = true,
             "--dot" => dot = true,
             "--stats" => stats = true,
@@ -521,8 +528,10 @@ fn run_client(args: &[String]) -> i32 {
         }
     }
     println!("{committed} committed, {rejected} rejected");
-    if let Some(pattern) = query {
-        match client.query(&pattern, None) {
+    // `--query` (pattern syntax) and `--query-text` (GOODQL) both ride
+    // the wire Query frame; the server dispatches on the text itself.
+    for text in query.iter().chain(query_text.iter()) {
+        match client.query(text, None) {
             Ok((epoch, columns, rows)) => {
                 println!("query @ epoch {epoch}: {} row(s)", rows.len());
                 for row in rows {

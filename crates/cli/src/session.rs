@@ -152,6 +152,7 @@ impl Session {
             "value" => self.cmd_value(rest),
             "edge" => self.cmd_edge(rest),
             "match" => self.cmd_match(rest),
+            "query" => self.cmd_query(rest),
             "explain" => self.cmd_explain(rest),
             "tag" => self.cmd_tag(rest),
             "connect" => self.cmd_connect(rest),
@@ -297,9 +298,49 @@ impl Session {
         Ok(out)
     }
 
+    /// `query [core|relational|tarski|diff] <GOODQL>` — parse a
+    /// MATCH/WHERE/RETURN query, compile it to GOOD operations, run it,
+    /// and print the answer rows. `diff` runs all three backends and
+    /// checks they agree.
+    fn cmd_query(&mut self, rest: &str) -> Result<String> {
+        let (lane, text) = split_query_lane(rest);
+        let text = unquote_query(text);
+        if text.is_empty() {
+            return Err(CliError(
+                "usage: query [core|relational|tarski|diff] <MATCH ... RETURN ...>".into(),
+            ));
+        }
+        let db = self.db_ref()?;
+        let (output, note) = match lane {
+            QueryLane::Backend(backend) => (
+                good_query::run(db, text, backend).map_err(|err| CliError(err.render(text)))?,
+                format!("backend: {}", backend.name()),
+            ),
+            QueryLane::Diff => (
+                good_query::run_differential(db, text).map_err(|err| CliError(err.render(text)))?,
+                "backends: core = relational = tarski".to_string(),
+            ),
+        };
+        Ok(render_query_output(&output, &note))
+    }
+
     /// `explain { pattern }` — print the access plan the matcher would
     /// run, executed once to annotate each step with actual row counts.
+    /// `explain query <GOODQL>` — print the compiled GOOD program and
+    /// the matcher's plan for the final pattern.
     fn cmd_explain(&mut self, rest: &str) -> Result<String> {
+        if let Some(tail) = rest.strip_prefix("query") {
+            if tail.is_empty() || tail.starts_with(char::is_whitespace) {
+                let text = unquote_query(tail.trim());
+                if text.is_empty() {
+                    return Err(CliError(
+                        "usage: explain query <MATCH ... RETURN ...>".into(),
+                    ));
+                }
+                let db = self.db_ref()?;
+                return good_query::explain(db, text).map_err(|err| CliError(err.render(text)));
+            }
+        }
         let (pattern, names) = parse_pattern(rest)?;
         let db = self.db_ref()?;
         let plan = explain_plan_profiled(&pattern, db, MatchConfig::default())?;
@@ -626,11 +667,75 @@ fn parse_literal(text: &str) -> Result<Value> {
         .map_err(|_| CliError(format!("cannot parse literal {text:?}")))
 }
 
+/// Which execution lane `query` should use.
+enum QueryLane {
+    Backend(good_query::Backend),
+    Diff,
+}
+
+/// Peel an optional leading lane keyword off a `query` command line.
+/// `query tarski MATCH ...` selects a backend, `query diff MATCH ...`
+/// runs the three-way differential check; the default is the core
+/// pattern matcher.
+fn split_query_lane(rest: &str) -> (QueryLane, &str) {
+    if let Some((head, tail)) = rest.split_once(char::is_whitespace) {
+        if head == "diff" {
+            return (QueryLane::Diff, tail.trim_start());
+        }
+        if let Some(backend) = good_query::Backend::from_name(head) {
+            return (QueryLane::Backend(backend), tail.trim_start());
+        }
+    }
+    (QueryLane::Backend(good_query::Backend::Core), rest)
+}
+
+/// Queries may be wrapped in one layer of double quotes (the scripted
+/// form in the issue examples); GOODQL string literals never appear at
+/// both ends of a valid query, so stripping the pair is unambiguous.
+fn unquote_query(text: &str) -> &str {
+    let text = text.trim();
+    match text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        Some(inner) if !inner.is_empty() => inner,
+        _ => text,
+    }
+}
+
+/// Render answer rows as an aligned table with a trailing row count.
+fn render_query_output(output: &good_query::QueryOutput, note: &str) -> String {
+    let mut widths: Vec<usize> = output.columns.iter().map(|c| c.chars().count()).collect();
+    for row in &output.rows {
+        for (cell, width) in row.iter().zip(widths.iter_mut()) {
+            *width = (*width).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (index, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+            if index > 0 {
+                out.push_str("  ");
+            }
+            write!(out, "{cell:<width$}").expect("write");
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    render_row(&mut out, &output.columns);
+    for row in &output.rows {
+        render_row(&mut out, row);
+    }
+    write!(out, "{} row(s) — {note}", output.rows.len()).expect("write");
+    out
+}
+
 const HELP: &str = "\
 scheme:  class <Name> | printable <Name> <domain> | functional <S> <e> <D>
          multivalued <S> <e> <D> | subclass <Sub> <isa> <Super> | init
 data:    insert <Class> [as h] | value <Class> <lit> [as h] | edge <h> <label> <h>
 query:   match { pattern } | explain { pattern }
+         query [core|relational|tarski|diff] <MATCH ... RETURN ...>
+         explain query <MATCH ... RETURN ...>
 ops:     tag { p } <node> <Class> <edge>
          connect { p } <src> <label> <dst> [functional|multivalued]
          delete { p } <node> | unlink { p } <src> <label> <dst>
@@ -706,6 +811,58 @@ mod tests {
         let mut fresh = Session::new();
         fresh.execute("class Info").unwrap();
         assert!(fresh.execute("explain { i: Info; }").is_err());
+    }
+
+    #[test]
+    fn query_runs_goodql_text_end_to_end() {
+        let mut session = bootstrapped();
+        let out = session
+            .execute("query MATCH (i:Info)-[:name]->(n:String) RETURN n")
+            .unwrap();
+        assert!(out.contains("Rock"), "{out}");
+        assert!(out.contains("1 row(s)"), "{out}");
+        assert!(out.contains("backend: core"), "{out}");
+        // Quoted form, explicit backend, and the differential lane.
+        let quoted = session
+            .execute("query tarski \"MATCH (i:Info) RETURN i\"")
+            .unwrap();
+        assert!(quoted.contains("2 row(s)"), "{quoted}");
+        assert!(quoted.contains("backend: tarski"), "{quoted}");
+        let diff = session
+            .execute("query diff MATCH (i:Info)-[:links-to*]->(j:Info) RETURN i, j")
+            .unwrap();
+        assert!(diff.contains("core = relational = tarski"), "{diff}");
+        assert!(diff.contains("1 row(s)"), "{diff}");
+    }
+
+    #[test]
+    fn query_errors_render_a_caret_and_need_an_open_base() {
+        let mut session = bootstrapped();
+        let err = session
+            .execute("query MATCH (i:Info RETURN i")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("parse error"), "{err}");
+        assert!(err.contains('^'), "{err}");
+        let unknown = session
+            .execute("query MATCH (i:Nope) RETURN i")
+            .unwrap_err()
+            .to_string();
+        assert!(unknown.contains("Nope"), "{unknown}");
+        let mut fresh = Session::new();
+        assert!(fresh.execute("query MATCH (i:Info) RETURN i").is_err());
+    }
+
+    #[test]
+    fn explain_query_prints_the_compiled_program_and_plan() {
+        let mut session = bootstrapped();
+        let out = session
+            .execute("explain query MATCH (i:Info)-[:links-to*]->(j:Info) RETURN j")
+            .unwrap();
+        assert!(out.contains("step 1:"), "{out}");
+        assert!(out.contains("match plan"), "{out}");
+        assert!(out.contains("i="), "{out}");
+        assert!(session.execute("explain query").is_err());
     }
 
     #[test]

@@ -182,6 +182,100 @@ fn load_over_an_existing_session_invalidates_handles() {
     std::fs::remove_file(path).expect("cleanup");
 }
 
+// ----------------------------------------------- GOODQL `query` command
+
+const QUERY_SETUP: &str = "class Info; printable String string; \
+                           functional Info name String; \
+                           multivalued Info links-to Info; init; \
+                           insert Info as a; insert Info as b; \
+                           value String \"hello\" as n; edge a name n; \
+                           edge a links-to b; edge b links-to a";
+
+#[test]
+fn query_command_prints_rows() {
+    let output = binary()
+        .arg("-c")
+        .arg(format!(
+            "{QUERY_SETUP}; query MATCH (i:Info)-[:name]->(s:String) RETURN s"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("hello"), "{stdout}");
+    assert!(stdout.contains("1 row(s)"), "{stdout}");
+    // A property-path query through the two-cycle.
+    let output = binary()
+        .arg("-c")
+        .arg(format!(
+            "{QUERY_SETUP}; query diff MATCH (i:Info)-[:links-to*2]->(j:Info) RETURN i, j"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("2 row(s)"), "{stdout}");
+    assert!(stdout.contains("core = relational = tarski"), "{stdout}");
+}
+
+#[test]
+fn query_parse_error_exits_nonzero_with_a_caret() {
+    let output = binary()
+        .arg("-c")
+        .arg(format!("{QUERY_SETUP}; query MATCH (i:Info RETURN i"))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("parse error at byte"), "{stderr}");
+    // The render quotes the source line and points a caret at the
+    // offending byte.
+    let caret_line = stderr
+        .lines()
+        .find(|line| line.trim_end().ends_with('^'))
+        .unwrap_or_else(|| panic!("no caret line in {stderr}"));
+    let quoted_line = stderr
+        .lines()
+        .find(|line| line.contains("MATCH (i:Info RETURN i"))
+        .unwrap_or_else(|| panic!("source line not quoted in {stderr}"));
+    let caret_col = caret_line.trim_end().chars().count() - 1;
+    let pointed = quoted_line.chars().nth(caret_col);
+    // The parser flags RETURN where `)` was expected.
+    assert_eq!(pointed, Some('R'), "{stderr}");
+}
+
+#[test]
+fn query_unknown_label_exits_nonzero() {
+    let output = binary()
+        .arg("-c")
+        .arg(format!("{QUERY_SETUP}; query MATCH (x:Nope) RETURN x"))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("Nope"), "{stderr}");
+}
+
+#[test]
+fn oversized_query_exits_nonzero_before_parsing() {
+    // Interior padding (trailing whitespace would be trimmed by the
+    // command reader before the query ever sees it).
+    let padding = " ".repeat(5000);
+    let output = binary()
+        .arg("-c")
+        .arg(format!(
+            "{QUERY_SETUP}; query MATCH (i:Info){padding} RETURN i"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "{output:?}");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("too long"), "{stderr}");
+}
+
 #[test]
 fn fault_seed_flag_runs_a_crash_sweep() {
     let output = binary()

@@ -465,6 +465,21 @@ impl Instance {
         &mut self.scheme
     }
 
+    /// Register a derived multivalued triple `(src, edge, dst)` on this
+    /// instance's scheme — the same "minimal scheme extension" an edge
+    /// addition performs, exposed for engines that materialize derived
+    /// edges (compiled property paths) outside the operation layer.
+    /// Registering a triple never invalidates existing data, so every
+    /// instance invariant is preserved.
+    pub fn extend_multivalued(
+        &mut self,
+        src: impl Into<Label>,
+        edge: impl Into<Label>,
+        dst: impl Into<Label>,
+    ) -> Result<()> {
+        self.scheme.add_multivalued(src, edge, dst)
+    }
+
     /// The underlying graph (read-only).
     #[inline]
     pub fn graph(&self) -> &Graph<NodeData, EdgeData> {

@@ -1,0 +1,355 @@
+//! The GOODQL abstract syntax tree and its pretty-printer.
+//!
+//! GOODQL is a small GQL/Cypher-flavored MATCH/WHERE/RETURN fragment
+//! ("Foundations of Modern Query Languages for Graph Databases" is the
+//! semantic guide). One query string compiles to one GOOD pattern plus
+//! a path-derivation program (see [`crate::compile`]); the fragment is
+//! deliberately tractable — conjunctive patterns, printable predicates,
+//! crossed edges, and property paths over homogeneous edge labels.
+//!
+//! The pretty-printer is canonical: `parse ∘ print` is the identity on
+//! normalized ASTs (property-tested in `tests/parser_props.rs`), which
+//! is what lets the random query generator drive the three-backend
+//! differential oracle through the full text pipeline.
+
+use good_core::value::Value;
+use std::fmt;
+
+/// A parsed GOODQL query.
+///
+/// ```text
+/// MATCH (a:Info)-[:links-to*1..3]->(b:Info), (a)-[:name]->(n:String)
+/// WHERE n STARTS WITH "info" AND NOT (b)-[:links-to]->(a)
+/// RETURN DISTINCT a, b LIMIT 10
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The comma-separated MATCH chains.
+    pub chains: Vec<Chain>,
+    /// The AND-separated WHERE predicates (possibly empty).
+    pub predicates: Vec<Predicate>,
+    /// `RETURN DISTINCT`?
+    pub distinct: bool,
+    /// The returned variables, in RETURN order.
+    pub returns: Vec<String>,
+    /// `LIMIT n`, applied after canonical row ordering.
+    pub limit: Option<u64>,
+}
+
+/// One MATCH chain: a head node pattern followed by link/node pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chain {
+    /// The leftmost node pattern.
+    pub head: NodePattern,
+    /// Each `-[:edge]->` link and the node pattern it lands on.
+    pub links: Vec<(Link, NodePattern)>,
+}
+
+/// A `(var:Label = literal)` node pattern. Label and literal are both
+/// optional; a variable may be declared in one chain and referenced
+/// bare in another.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePattern {
+    /// The variable name.
+    pub var: String,
+    /// Optional class label.
+    pub label: Option<String>,
+    /// Optional exact print value (printable classes only).
+    pub value: Option<Value>,
+    /// Source byte offset (for error carets; ignored by `normalized`).
+    pub pos: usize,
+}
+
+/// A `-[:edge]->` or `-[:edge*m..M]->` link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// The edge label.
+    pub edge: String,
+    /// Property-path repetition, if starred.
+    pub path: Option<PathSpec>,
+    /// Source byte offset.
+    pub pos: usize,
+}
+
+/// Path repetition bounds: `*` is `1..`, `*0..` zero-or-more, `*m..M`
+/// an inclusive walk-length window, `*k` exactly `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathSpec {
+    /// Minimum walk length (0 admits the identity pair).
+    pub min: u32,
+    /// Maximum walk length; `None` is unbounded (transitive closure).
+    pub max: Option<u32>,
+}
+
+/// Comparison operators of the WHERE clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One WHERE predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `var OP literal`.
+    Cmp {
+        /// The printable variable.
+        var: String,
+        /// The operator.
+        op: CmpOp,
+        /// The literal to compare against.
+        value: Value,
+        /// Source byte offset.
+        pos: usize,
+    },
+    /// `var CONTAINS "needle"` (strings only).
+    Contains {
+        /// The printable variable.
+        var: String,
+        /// The substring.
+        needle: String,
+        /// Source byte offset.
+        pos: usize,
+    },
+    /// `var STARTS WITH "prefix"` (strings only).
+    StartsWith {
+        /// The printable variable.
+        var: String,
+        /// The prefix.
+        prefix: String,
+        /// Source byte offset.
+        pos: usize,
+    },
+    /// `var BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// The printable variable.
+        var: String,
+        /// Lower bound.
+        lo: Value,
+        /// Upper bound.
+        hi: Value,
+        /// Source byte offset.
+        pos: usize,
+    },
+    /// `var IN [a, b, c]`.
+    OneOf {
+        /// The printable variable.
+        var: String,
+        /// The candidate values.
+        values: Vec<Value>,
+        /// Source byte offset.
+        pos: usize,
+    },
+    /// `NOT (src)-[:edge]->(dst)` — a crossed edge (Figure 26).
+    NoEdge {
+        /// Source variable.
+        src: String,
+        /// Edge label.
+        edge: String,
+        /// Destination variable.
+        dst: String,
+        /// Source byte offset.
+        pos: usize,
+    },
+}
+
+impl Predicate {
+    /// The source byte offset (for error carets).
+    pub fn pos(&self) -> usize {
+        match self {
+            Predicate::Cmp { pos, .. }
+            | Predicate::Contains { pos, .. }
+            | Predicate::StartsWith { pos, .. }
+            | Predicate::Between { pos, .. }
+            | Predicate::OneOf { pos, .. }
+            | Predicate::NoEdge { pos, .. } => *pos,
+        }
+    }
+}
+
+impl Query {
+    /// The query with all source positions zeroed — the equality domain
+    /// of the `parse ∘ print` identity property.
+    pub fn normalized(&self) -> Query {
+        let mut out = self.clone();
+        for chain in &mut out.chains {
+            chain.head.pos = 0;
+            for (link, node) in &mut chain.links {
+                link.pos = 0;
+                node.pos = 0;
+            }
+        }
+        for predicate in &mut out.predicates {
+            match predicate {
+                Predicate::Cmp { pos, .. }
+                | Predicate::Contains { pos, .. }
+                | Predicate::StartsWith { pos, .. }
+                | Predicate::Between { pos, .. }
+                | Predicate::OneOf { pos, .. }
+                | Predicate::NoEdge { pos, .. } => *pos = 0,
+            }
+        }
+        out
+    }
+}
+
+/// Render a value as a GOODQL literal. The output parses back to an
+/// equal value (bytes excepted — they have no literal syntax).
+pub fn render_value(value: &Value) -> String {
+    match value {
+        Value::Str(text) => {
+            let mut out = String::with_capacity(text.len() + 2);
+            out.push('"');
+            for c in text.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Value::Int(int) => int.to_string(),
+        Value::Real(real) => {
+            let rendered = real.get().to_string();
+            if rendered.contains('.') || rendered.contains('e') || rendered.contains("inf") {
+                rendered
+            } else {
+                format!("{rendered}.0")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Date(date) => format!("date({:04}-{:02}-{:02})", date.year, date.month, date.day),
+        Value::Bytes(_) => "\"<bytes>\"".to_string(),
+    }
+}
+
+impl fmt::Display for PathSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min, self.max) {
+            (1, None) => write!(f, "*"),
+            (min, None) => write!(f, "*{min}.."),
+            (min, Some(max)) if min == max => write!(f, "*{min}"),
+            (min, Some(max)) => write!(f, "*{min}..{max}"),
+        }
+    }
+}
+
+impl fmt::Display for NodePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}", self.var)?;
+        if let Some(label) = &self.label {
+            write!(f, ":{label}")?;
+        }
+        if let Some(value) = &self.value {
+            write!(f, " = {}", render_value(value))?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path {
+            Some(path) => write!(f, "-[:{}{}]->", self.edge, path),
+            None => write!(f, "-[:{}]->", self.edge),
+        }
+    }
+}
+
+impl fmt::Display for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        for (link, node) in &self.links {
+            write!(f, "{link}{node}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp { var, op, value, .. } => {
+                write!(f, "{var} {} {}", op.symbol(), render_value(value))
+            }
+            Predicate::Contains { var, needle, .. } => {
+                write!(f, "{var} CONTAINS {}", render_value(&Value::str(needle)))
+            }
+            Predicate::StartsWith { var, prefix, .. } => {
+                write!(f, "{var} STARTS WITH {}", render_value(&Value::str(prefix)))
+            }
+            Predicate::Between { var, lo, hi, .. } => {
+                write!(
+                    f,
+                    "{var} BETWEEN {} AND {}",
+                    render_value(lo),
+                    render_value(hi)
+                )
+            }
+            Predicate::OneOf { var, values, .. } => {
+                let rendered: Vec<String> = values.iter().map(render_value).collect();
+                write!(f, "{var} IN [{}]", rendered.join(", "))
+            }
+            Predicate::NoEdge { src, edge, dst, .. } => write!(f, "NOT ({src})-[:{edge}]->({dst})"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MATCH ")?;
+        for (index, chain) in self.chains.iter().enumerate() {
+            if index > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{chain}")?;
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (index, predicate) in self.predicates.iter().enumerate() {
+                if index > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{predicate}")?;
+            }
+        }
+        write!(f, " RETURN ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        write!(f, "{}", self.returns.join(", "))?;
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,649 @@
+//! The GOODQL parser: hand-rolled recursive descent, like
+//! `good_core::textual` but for the MATCH/WHERE/RETURN surface.
+//!
+//! Errors carry the byte offset where parsing stopped;
+//! [`crate::QueryError::render`] turns that into a caret-annotated
+//! message. The parser never panics on arbitrary input (property-tested
+//! in `tests/parser_props.rs`) and refuses query strings longer than
+//! [`MAX_QUERY_LEN`] outright so a hostile client cannot feed the
+//! server megabytes of text to tokenize.
+
+use crate::ast::{Chain, CmpOp, Link, NodePattern, PathSpec, Predicate, Query};
+use crate::QueryError;
+use good_core::value::{Date, Value};
+
+/// The hard cap on query-text length, in bytes.
+pub const MAX_QUERY_LEN: usize = 4096;
+
+/// Reserved words that cannot be used as variable names.
+const RESERVED: &[&str] = &[
+    "MATCH", "WHERE", "RETURN", "DISTINCT", "LIMIT", "AND", "NOT", "CONTAINS", "STARTS", "WITH",
+    "BETWEEN", "IN", "TRUE", "FALSE", "DATE",
+];
+
+/// Parse a GOODQL query string.
+pub fn parse_query(text: &str) -> Result<Query, QueryError> {
+    if text.len() > MAX_QUERY_LEN {
+        return Err(QueryError::Parse {
+            pos: MAX_QUERY_LEN,
+            message: format!(
+                "query too long: {} bytes (limit {MAX_QUERY_LEN})",
+                text.len()
+            ),
+        });
+    }
+    let mut parser = Parser { text, pos: 0 };
+    let query = parser.query()?;
+    parser.skip_ws();
+    if !parser.at_end() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(query)
+}
+
+/// Gregorian month length (proleptic, same rule as `good_core`'s
+/// civil-date arithmetic).
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        _ => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.text.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = self.rest();
+        let trimmed = rest.trim_start();
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    fn eat_char(&mut self, expected: char) -> Result<(), QueryError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.pos += c.len_utf8();
+                Ok(())
+            }
+            _ => Err(self.error(format!("expected `{expected}`"))),
+        }
+    }
+
+    /// Try to consume a literal punctuation sequence (no whitespace
+    /// allowed inside it). Restores the position on failure.
+    fn try_punct(&mut self, punct: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(punct) {
+            self.pos += punct.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Scan an identifier-shaped word without consuming it.
+    fn peek_word(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut end = 0;
+        for (index, c) in rest.char_indices() {
+            let ok = if index == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || c == '_'
+            };
+            if !ok {
+                break;
+            }
+            end = index + c.len_utf8();
+        }
+        if end == 0 {
+            None
+        } else {
+            Some(&rest[..end])
+        }
+    }
+
+    /// Consume `keyword` (case-insensitive, whole word). Restores the
+    /// position on failure.
+    fn try_keyword(&mut self, keyword: &str) -> bool {
+        match self.peek_word() {
+            Some(word) if word.eq_ignore_ascii_case(keyword) => {
+                self.pos += word.len();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), QueryError> {
+        if self.try_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{keyword}`")))
+        }
+    }
+
+    /// A variable name: an identifier that is not a reserved word.
+    fn variable(&mut self) -> Result<String, QueryError> {
+        let Some(word) = self.peek_word() else {
+            return Err(self.error("expected a variable name"));
+        };
+        if RESERVED.iter().any(|kw| word.eq_ignore_ascii_case(kw)) {
+            return Err(self.error(format!("`{word}` is a reserved word")));
+        }
+        self.pos += word.len();
+        Ok(word.to_string())
+    }
+
+    /// A label: like an identifier but hyphens are allowed after the
+    /// first character (`links-to`).
+    fn label(&mut self) -> Result<String, QueryError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut end = 0;
+        for (index, c) in rest.char_indices() {
+            let ok = if index == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || c == '_' || c == '-'
+            };
+            if !ok {
+                break;
+            }
+            end = index + c.len_utf8();
+        }
+        if end == 0 {
+            return Err(self.error("expected a label"));
+        }
+        // A trailing hyphen belongs to the arrow (`-[:e]->`), not the label.
+        let word = rest[..end].trim_end_matches('-');
+        if word.is_empty() {
+            return Err(self.error("expected a label"));
+        }
+        self.pos += word.len();
+        Ok(word.to_string())
+    }
+
+    fn integer<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, QueryError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map(|(index, _)| index)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error(format!("expected {what}")));
+        }
+        let literal = &rest[..end];
+        let value = literal
+            .parse()
+            .map_err(|_| self.error(format!("bad {what} `{literal}`")))?;
+        self.pos += end;
+        Ok(value)
+    }
+
+    /// A literal: string, int, real, `date(YYYY-MM-DD)`, `true`/`false`.
+    fn literal(&mut self) -> Result<Value, QueryError> {
+        self.skip_ws();
+        let Some(first) = self.peek() else {
+            return Err(self.error("expected a literal"));
+        };
+        if first == '"' {
+            return self.string_literal().map(Value::str);
+        }
+        if first.is_ascii_digit() || first == '-' || first == '+' {
+            return self.number_literal();
+        }
+        if self.try_keyword("true") {
+            return Ok(Value::Bool(true));
+        }
+        if self.try_keyword("false") {
+            return Ok(Value::Bool(false));
+        }
+        if self.try_keyword("date") {
+            self.eat_char('(')?;
+            let year: i32 = self.integer("a year")?;
+            self.eat_char('-')?;
+            let month: u8 = self.integer("a month")?;
+            self.eat_char('-')?;
+            let day: u8 = self.integer("a day")?;
+            self.eat_char(')')?;
+            // Full calendar validation here: `Date::new` treats an
+            // impossible date as a programming error and panics, but
+            // this one came over the wire.
+            if month == 0 || month > 12 || day == 0 || day > days_in_month(year, month) {
+                return Err(self.error(format!("bad date {year:04}-{month:02}-{day:02}")));
+            }
+            return Ok(Value::Date(Date::new(year, month, day)));
+        }
+        Err(self.error("expected a literal"))
+    }
+
+    fn string_literal(&mut self) -> Result<String, QueryError> {
+        self.eat_char('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string literal"));
+            };
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(escaped) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += escaped.len_utf8();
+                    match escaped {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        other => return Err(self.error(format!("unknown escape `\\{other}`"))),
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    fn number_literal(&mut self) -> Result<Value, QueryError> {
+        let rest = self.rest();
+        let mut end = 0;
+        for (index, c) in rest.char_indices() {
+            let ok = c.is_ascii_digit() || c == '.' || ((c == '-' || c == '+') && index == 0);
+            if !ok {
+                break;
+            }
+            end = index + c.len_utf8();
+        }
+        let literal = &rest[..end];
+        if literal.is_empty() || literal == "-" || literal == "+" {
+            return Err(self.error("expected a number"));
+        }
+        if literal.contains('.') {
+            let value: f64 = literal
+                .parse()
+                .map_err(|_| self.error(format!("bad real literal `{literal}`")))?;
+            self.pos += end;
+            Ok(Value::real(value))
+        } else {
+            let value: i64 = literal
+                .parse()
+                .map_err(|_| self.error(format!("bad integer literal `{literal}`")))?;
+            self.pos += end;
+            Ok(Value::Int(value))
+        }
+    }
+
+    // ---- grammar ------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        self.skip_ws();
+        self.expect_keyword("MATCH")?;
+        let mut chains = vec![self.chain()?];
+        while self.try_punct(",") {
+            chains.push(self.chain()?);
+        }
+        let mut predicates = Vec::new();
+        if self.try_keyword("WHERE") {
+            predicates.push(self.predicate()?);
+            while self.try_keyword("AND") {
+                predicates.push(self.predicate()?);
+            }
+        }
+        self.expect_keyword("RETURN")?;
+        let distinct = self.try_keyword("DISTINCT");
+        let mut returns = vec![self.variable()?];
+        while self.try_punct(",") {
+            returns.push(self.variable()?);
+        }
+        let limit = if self.try_keyword("LIMIT") {
+            Some(self.integer("a limit")?)
+        } else {
+            None
+        };
+        Ok(Query {
+            chains,
+            predicates,
+            distinct,
+            returns,
+            limit,
+        })
+    }
+
+    fn chain(&mut self) -> Result<Chain, QueryError> {
+        let head = self.node_pattern()?;
+        let mut links = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() != Some('-') {
+                break;
+            }
+            let link = self.link()?;
+            let node = self.node_pattern()?;
+            links.push((link, node));
+        }
+        Ok(Chain { head, links })
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern, QueryError> {
+        self.skip_ws();
+        let pos = self.pos;
+        self.eat_char('(')?;
+        let var = self.variable()?;
+        let label = if self.try_punct(":") {
+            Some(self.label()?)
+        } else {
+            None
+        };
+        let value = if self.try_punct("=") {
+            Some(self.literal()?)
+        } else {
+            None
+        };
+        self.eat_char(')')?;
+        Ok(NodePattern {
+            var,
+            label,
+            value,
+            pos,
+        })
+    }
+
+    fn link(&mut self) -> Result<Link, QueryError> {
+        self.skip_ws();
+        let pos = self.pos;
+        if !self.try_punct("-[") {
+            return Err(self.error("expected a link like `-[:edge]->`"));
+        }
+        self.eat_char(':')?;
+        let edge = self.label()?;
+        let path = if self.try_punct("*") {
+            Some(self.path_spec()?)
+        } else {
+            None
+        };
+        if !self.try_punct("]->") {
+            return Err(self.error("expected `]->`"));
+        }
+        Ok(Link { edge, path, pos })
+    }
+
+    /// After the `*`: empty (`1..`), `m`, `m..`, `m..M`, or `..M`.
+    fn path_spec(&mut self) -> Result<PathSpec, QueryError> {
+        self.skip_ws();
+        let has_min = self.peek().is_some_and(|c| c.is_ascii_digit());
+        let min: u32 = if has_min { self.integer("a bound")? } else { 1 };
+        if self.try_punct("..") {
+            self.skip_ws();
+            let has_max = self.peek().is_some_and(|c| c.is_ascii_digit());
+            let max = if has_max {
+                Some(self.integer("a bound")?)
+            } else {
+                None
+            };
+            Ok(PathSpec { min, max })
+        } else if has_min {
+            Ok(PathSpec {
+                min,
+                max: Some(min),
+            })
+        } else {
+            Ok(PathSpec { min: 1, max: None })
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, QueryError> {
+        self.skip_ws();
+        let pos = self.pos;
+        if self.try_keyword("NOT") {
+            self.eat_char('(')?;
+            let src = self.variable()?;
+            self.eat_char(')')?;
+            let link = self.link()?;
+            if link.path.is_some() {
+                return Err(QueryError::Parse {
+                    pos: link.pos,
+                    message: "property paths are not allowed under NOT".into(),
+                });
+            }
+            self.eat_char('(')?;
+            let dst = self.variable()?;
+            self.eat_char(')')?;
+            return Ok(Predicate::NoEdge {
+                src,
+                edge: link.edge,
+                dst,
+                pos,
+            });
+        }
+        let var = self.variable()?;
+        if self.try_keyword("CONTAINS") {
+            self.skip_ws();
+            let needle = self.string_literal()?;
+            return Ok(Predicate::Contains { var, needle, pos });
+        }
+        if self.try_keyword("STARTS") {
+            self.expect_keyword("WITH")?;
+            self.skip_ws();
+            let prefix = self.string_literal()?;
+            return Ok(Predicate::StartsWith { var, prefix, pos });
+        }
+        if self.try_keyword("BETWEEN") {
+            let lo = self.literal()?;
+            self.expect_keyword("AND")?;
+            let hi = self.literal()?;
+            return Ok(Predicate::Between { var, lo, hi, pos });
+        }
+        if self.try_keyword("IN") {
+            self.eat_char('[')?;
+            let mut values = vec![self.literal()?];
+            while self.try_punct(",") {
+                values.push(self.literal()?);
+            }
+            self.eat_char(']')?;
+            return Ok(Predicate::OneOf { var, values, pos });
+        }
+        // Longest symbols first: `<=` before `<`, `<>` before `<`.
+        let op = if self.try_punct("<=") {
+            CmpOp::Le
+        } else if self.try_punct(">=") {
+            CmpOp::Ge
+        } else if self.try_punct("<>") {
+            CmpOp::Ne
+        } else if self.try_punct("<") {
+            CmpOp::Lt
+        } else if self.try_punct(">") {
+            CmpOp::Gt
+        } else if self.try_punct("=") {
+            CmpOp::Eq
+        } else {
+            return Err(self.error("expected a comparison, CONTAINS, STARTS WITH, BETWEEN or IN"));
+        };
+        let value = self.literal()?;
+        Ok(Predicate::Cmp {
+            var,
+            op,
+            value,
+            pos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> Query {
+        let query = parse_query(text).expect("parse");
+        let printed = query.to_string();
+        let again = parse_query(&printed).expect("reparse");
+        assert_eq!(query.normalized(), again.normalized(), "text: {printed}");
+        query
+    }
+
+    #[test]
+    fn minimal_query() {
+        let q = roundtrip("MATCH (a:Info) RETURN a");
+        assert_eq!(q.chains.len(), 1);
+        assert_eq!(q.returns, vec!["a"]);
+        assert!(!q.distinct);
+    }
+
+    #[test]
+    fn chain_with_links() {
+        let q = roundtrip("MATCH (a:Info)-[:links-to]->(b:Info)-[:name]->(n:String) RETURN a, n");
+        assert_eq!(q.chains[0].links.len(), 2);
+        assert_eq!(q.chains[0].links[0].0.edge, "links-to");
+    }
+
+    #[test]
+    fn path_specs() {
+        let star = roundtrip("MATCH (a:Info)-[:links-to*]->(b:Info) RETURN a, b");
+        assert_eq!(
+            star.chains[0].links[0].0.path,
+            Some(PathSpec { min: 1, max: None })
+        );
+        let bounded = roundtrip("MATCH (a:Info)-[:links-to*2..4]->(b:Info) RETURN a");
+        assert_eq!(
+            bounded.chains[0].links[0].0.path,
+            Some(PathSpec {
+                min: 2,
+                max: Some(4)
+            })
+        );
+        let zero = roundtrip("MATCH (a:Info)-[:links-to*0..]->(b:Info) RETURN b");
+        assert_eq!(
+            zero.chains[0].links[0].0.path,
+            Some(PathSpec { min: 0, max: None })
+        );
+        let exact = roundtrip("MATCH (a:Info)-[:links-to*3]->(b:Info) RETURN a");
+        assert_eq!(
+            exact.chains[0].links[0].0.path,
+            Some(PathSpec {
+                min: 3,
+                max: Some(3)
+            })
+        );
+        let open_min = parse_query("MATCH (a:Info)-[:links-to*..3]->(b:Info) RETURN a").unwrap();
+        assert_eq!(
+            open_min.chains[0].links[0].0.path,
+            Some(PathSpec {
+                min: 1,
+                max: Some(3)
+            })
+        );
+    }
+
+    #[test]
+    fn where_clause() {
+        let q = roundtrip(
+            "MATCH (a:Info)-[:name]->(n:String) WHERE n STARTS WITH \"info\" AND n <> \"info-3\" \
+             RETURN a",
+        );
+        assert_eq!(q.predicates.len(), 2);
+        let q = roundtrip(
+            "MATCH (a:Info)-[:created]->(d:Date) WHERE d BETWEEN date(1990-01-01) AND \
+             date(1990-01-05) RETURN a",
+        );
+        assert!(matches!(q.predicates[0], Predicate::Between { .. }));
+        let q = roundtrip("MATCH (n:String) WHERE n IN [\"x\", \"y\"] RETURN n");
+        assert!(matches!(q.predicates[0], Predicate::OneOf { .. }));
+    }
+
+    #[test]
+    fn not_edge() {
+        let q = roundtrip("MATCH (a:Info), (b:Info) WHERE NOT (a)-[:links-to]->(b) RETURN a, b");
+        assert!(matches!(q.predicates[0], Predicate::NoEdge { .. }));
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let q = roundtrip("MATCH (a:Info)-[:links-to]->(b:Info) RETURN DISTINCT b LIMIT 5");
+        assert!(q.distinct);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn value_constraint() {
+        let q = roundtrip("MATCH (a:Info)-[:name]->(n:String = \"info-1\") RETURN a");
+        assert_eq!(q.chains[0].links[0].1.value, Some(Value::str("info-1")));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let lower = parse_query("match (a:Info) return a").unwrap();
+        let upper = parse_query("MATCH (a:Info) RETURN a").unwrap();
+        assert_eq!(lower.normalized(), upper.normalized());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_query("MATCH (a:Info RETURN a").unwrap_err();
+        let QueryError::Parse { pos, message } = &err else {
+            panic!("expected parse error, got {err:?}");
+        };
+        assert!(*pos > 0);
+        assert!(message.contains("expected"), "message: {message}");
+    }
+
+    #[test]
+    fn reserved_words_rejected_as_variables() {
+        assert!(parse_query("MATCH (match:Info) RETURN match").is_err());
+    }
+
+    #[test]
+    fn oversized_query_rejected() {
+        let long = format!("MATCH (a:Info) RETURN a{}", " ".repeat(MAX_QUERY_LEN));
+        let err = parse_query(&long).unwrap_err();
+        let QueryError::Parse { message, .. } = &err else {
+            panic!("expected parse error");
+        };
+        assert!(message.contains("query too long"), "message: {message}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("MATCH (a:Info) RETURN a garbage!").is_err());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let q = roundtrip("MATCH (n:String = \"a\\\"b\\\\c\\nd\") RETURN n");
+        assert_eq!(q.chains[0].head.value, Some(Value::str("a\"b\\c\nd")));
+    }
+}

@@ -1,0 +1,172 @@
+//! Checked-in regression corpus of GOODQL query strings, mirroring
+//! `crates/server/tests/corpus/` for the wire protocol: every `ok-*`
+//! file must parse (and round-trip through the canonical printer),
+//! every `err-*` file must be rejected with an error, and nothing may
+//! panic. Regenerate with
+//!
+//! ```text
+//! UPDATE_CORPUS=1 cargo test -p good-query --test corpus
+//! ```
+//!
+//! and commit the diff. The corpus freezes today's accept/reject
+//! boundary: a parser change that silently starts accepting garbage
+//! (or rejecting valid queries) shows up as a red test, not a silent
+//! drift.
+
+use good_query::gen::random_query;
+use good_query::parser::{parse_query, MAX_QUERY_LEN};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// The corpus contents, as `(name, query text)`. Regenerated
+/// byte-for-byte by `UPDATE_CORPUS=1`.
+fn corpus_entries() -> Vec<(String, String)> {
+    let mut entries: Vec<(String, String)> = Vec::new();
+
+    // Hand-picked valid queries covering every grammar production.
+    let ok: &[&str] = &[
+        "MATCH (a:Info) RETURN a",
+        "MATCH (a:Info)-[:links-to]->(b:Info) RETURN a, b",
+        "MATCH (a:Info)-[:name]->(n:String) RETURN n",
+        "MATCH (a:Info)-[:name]->(n:String = \"info-3\") RETURN a",
+        "MATCH (a:Info)-[:links-to*]->(b:Info) RETURN a, b",
+        "MATCH (a:Info)-[:links-to*0..]->(b:Info) RETURN DISTINCT b",
+        "MATCH (a:Info)-[:links-to*2..4]->(b:Info) RETURN a, b LIMIT 5",
+        "MATCH (a:Info)-[:links-to*3]->(b:Info) RETURN a",
+        "MATCH (a:Info)-[:rec-links-to*1..2]->(a) RETURN a",
+        "MATCH (a:Info)-[:created]->(d:Date) WHERE d < date(1990-01-08) RETURN a",
+        "MATCH (a:Info)-[:name]->(n:String) WHERE n CONTAINS \"inf\" AND n <> \"info-0\" RETURN n",
+        "MATCH (a:Info)-[:name]->(n:String) WHERE n STARTS WITH \"info-\" RETURN a, n",
+        "MATCH (a:Info)-[:created]->(d:Date) WHERE d BETWEEN date(1990-01-02) AND date(1990-01-09) RETURN d",
+        "MATCH (a:Info)-[:name]->(n:String) WHERE n IN [\"info-1\", \"info-2\"] RETURN a",
+        "MATCH (a:Info), (b:Info) WHERE NOT (a)-[:links-to]->(b) RETURN a, b",
+        "MATCH (a:Info)-[:links-to]->(b:Info), (b)-[:name]->(n:String) RETURN a, n",
+        "match (a:info) return a",
+        "  MATCH   (a:Info)   RETURN   a  ",
+        "MATCH (a:Info)-[:name]->(n:String = \"with \\\"quotes\\\" and \\\\ back\") RETURN n",
+        "MATCH (a:Info) RETURN a LIMIT 0",
+    ];
+    for (index, text) in ok.iter().enumerate() {
+        entries.push((format!("ok-{index:02}.txt"), (*text).to_string()));
+    }
+    // A band of generated queries, pinned by seed: the generator's
+    // whole surface stays parseable forever.
+    for seed in 0..10u64 {
+        entries.push((
+            format!("ok-gen-{seed:02}.txt"),
+            random_query(seed).to_string(),
+        ));
+    }
+
+    // Rejected inputs: syntax errors, structural violations, limits.
+    let err: &[(&str, &str)] = &[
+        ("empty", ""),
+        ("only-whitespace", "   \n\t  "),
+        ("no-match-keyword", "SELECT * FROM infos"),
+        ("unclosed-node", "MATCH (a:Info RETURN a"),
+        ("missing-return", "MATCH (a:Info)"),
+        ("missing-return-vars", "MATCH (a:Info) RETURN"),
+        ("bad-arrow", "MATCH (a:Info)-[:links-to]>(b:Info) RETURN a"),
+        ("reserved-variable", "MATCH (match:Info) RETURN match"),
+        (
+            "bad-path-bounds",
+            "MATCH (a:Info)-[:links-to*1..2..3]->(b:Info) RETURN a",
+        ),
+        (
+            "path-under-not",
+            "MATCH (a:Info), (b:Info) WHERE NOT (a)-[:links-to*]->(b) RETURN a",
+        ),
+        (
+            "unterminated-string",
+            "MATCH (a:Info)-[:name]->(n:String = \"oops) RETURN n",
+        ),
+        (
+            "bad-escape",
+            "MATCH (a:Info)-[:name]->(n:String = \"\\q\") RETURN n",
+        ),
+        (
+            "bad-date",
+            "MATCH (a:Info)-[:created]->(d:Date) WHERE d = date(1990-13-40) RETURN a",
+        ),
+        ("trailing-garbage", "MATCH (a:Info) RETURN a extra"),
+        ("double-where", "MATCH (a:Info) WHERE WHERE RETURN a"),
+        (
+            "empty-in-list",
+            "MATCH (a:Info)-[:name]->(n:String) WHERE n IN [] RETURN a",
+        ),
+        ("limit-no-number", "MATCH (a:Info) RETURN a LIMIT"),
+        ("lone-edge", "-[:links-to]->"),
+    ];
+    for (name, text) in err {
+        entries.push((format!("err-{name}.txt"), (*text).to_string()));
+    }
+    entries.push((
+        "err-oversized.txt".to_string(),
+        format!("MATCH (a:Info) RETURN a{}", " ".repeat(MAX_QUERY_LEN)),
+    ));
+    entries
+}
+
+#[test]
+fn regression_corpus_is_checked_in_and_classified() {
+    let dir = corpus_dir();
+    if std::env::var("UPDATE_CORPUS").is_ok() {
+        std::fs::create_dir_all(&dir).expect("create corpus dir");
+        for (name, text) in corpus_entries() {
+            std::fs::write(dir.join(&name), &text).expect("write corpus file");
+        }
+    }
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|err| {
+            panic!(
+                "corpus dir {} missing ({err}); regenerate with UPDATE_CORPUS=1",
+                dir.display()
+            )
+        })
+        .map(|entry| entry.expect("dir entry").file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= corpus_entries().len(),
+        "corpus incomplete: {} files, expected at least {}",
+        names.len(),
+        corpus_entries().len()
+    );
+    for name in names {
+        let text = std::fs::read_to_string(dir.join(&name)).expect("read corpus file");
+        let result = parse_query(&text);
+        if name.starts_with("ok-") {
+            let query = result.unwrap_or_else(|err| {
+                panic!("corpus file {name} must parse:\n{}", err.render(&text))
+            });
+            // Valid queries round-trip through the canonical printer.
+            let reprinted = query.to_string();
+            let reparsed = parse_query(&reprinted).unwrap_or_else(|err| {
+                panic!(
+                    "corpus file {name}: reprint failed to parse\n{}",
+                    err.render(&reprinted)
+                )
+            });
+            assert_eq!(
+                reparsed.normalized(),
+                query.normalized(),
+                "corpus file {name}: print/parse round-trip drifted"
+            );
+        } else if name.starts_with("err-") {
+            assert!(
+                result.is_err(),
+                "corpus file {name} must be rejected, but parsed: {text}"
+            );
+        } else {
+            panic!("corpus file {name} must be named ok-* or err-*");
+        }
+    }
+}
+
+#[test]
+fn corpus_generation_is_deterministic() {
+    assert_eq!(corpus_entries(), corpus_entries());
+}

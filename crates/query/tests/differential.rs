@@ -1,0 +1,70 @@
+//! The cross-backend differential oracle: random generated queries
+//! over random instances, with the core pattern matcher, the
+//! relational encoding, and the Tarski binary-relation algebra all
+//! required to return bit-identical canonicalized row sets — the
+//! paper's completeness theorems (Sections 4.3 and 5) as an always-on
+//! property test.
+//!
+//! Tier-1 runs 256 generated query/instance cases; the nightly cron
+//! runs the 10 000-case `--ignored` sweep (see `.github/workflows`).
+
+use good_core::gen::{bench_scheme, random_instance, random_workload, GenConfig};
+use good_core::instance::Instance;
+use good_core::program::Env;
+use good_query::exec::run_differential;
+use good_query::gen::random_query;
+
+/// The instance pool: `random_workload` programs applied from the
+/// empty bench-scheme instance (exercising whatever shape the workload
+/// leaves behind, tag classes included) and `random_instance` mixes of
+/// several densities, all deterministic in `seed`.
+fn instance_for(seed: u64) -> Instance {
+    match seed % 3 {
+        0 => {
+            let mut db = Instance::new(bench_scheme());
+            let mut env = Env::new();
+            for program in random_workload(seed, 6) {
+                env.refuel();
+                program.apply(&mut db, &mut env).expect("workload applies");
+            }
+            db
+        }
+        1 => random_instance(&GenConfig {
+            infos: 12,
+            avg_links: 1.5,
+            distinct_dates: 4,
+            seed,
+        }),
+        _ => random_instance(&GenConfig {
+            infos: 6,
+            avg_links: 2.5,
+            distinct_dates: 2,
+            seed,
+        }),
+    }
+}
+
+fn sweep(cases: u64, offset: u64) {
+    for case in 0..cases {
+        let seed = offset + case;
+        let db = instance_for(seed);
+        let query = random_query(seed);
+        let text = query.to_string();
+        run_differential(&db, &text)
+            .unwrap_or_else(|err| panic!("case {seed} failed on `{text}`:\n{}", err.render(&text)));
+    }
+}
+
+#[test]
+fn three_backends_agree_on_256_generated_queries() {
+    sweep(256, 0);
+}
+
+/// The nightly 10k-case sweep (`cargo test -p good-query --release --
+/// --ignored`). Offset past the tier-1 seeds so the two runs cover
+/// disjoint cases.
+#[test]
+#[ignore = "10k-case differential sweep; run by the nightly cron"]
+fn three_backends_agree_on_10k_generated_queries() {
+    sweep(10_000, 256);
+}

@@ -1,0 +1,132 @@
+//! Parser robustness properties, in the house style of
+//! `good_core::textual`:
+//!
+//! * `parse ∘ print` is the identity on generated ASTs — the canonical
+//!   pretty-printer and the parser agree exactly, which is what lets
+//!   the differential oracle drive generated queries through the full
+//!   text pipeline;
+//! * the parser never panics, on arbitrary printable strings, on
+//!   syntax-shaped near-misses, or on truncations of valid queries;
+//! * the length guard rejects oversized input before any parse work.
+
+use good_query::gen::random_query;
+use good_query::parser::{parse_query, MAX_QUERY_LEN};
+use proptest::strategy::any;
+use proptest::string::string_regex;
+use proptest::test_runner::{Config, TestRunner};
+
+#[test]
+fn pretty_print_then_parse_is_identity() {
+    let mut runner = TestRunner::new(Config::with_cases(512));
+    runner
+        .run(&any::<u64>(), |seed| {
+            let query = random_query(seed);
+            let text = query.to_string();
+            let reparsed = parse_query(&text).unwrap_or_else(|err| {
+                panic!(
+                    "seed {seed}: generated query failed to parse\n{}",
+                    err.render(&text)
+                )
+            });
+            assert_eq!(
+                reparsed.normalized(),
+                query.normalized(),
+                "seed {seed}: parse(print(q)) != q for\n{text}"
+            );
+            // And printing is a fixpoint: print(parse(print(q))) == print(q).
+            assert_eq!(reparsed.to_string(), text, "seed {seed}");
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    let mut runner = TestRunner::new(Config::with_cases(512));
+    runner
+        .run(&string_regex("[ -~\n\t]{0,120}").unwrap(), |text| {
+            let _ = parse_query(&text); // Ok or Err, never panic
+            Ok(())
+        })
+        .unwrap();
+    // Syntax-shaped near-misses: query keywords, brackets, arrows and
+    // literals jumbled together (the vendored proptest regex subset has
+    // no alternation, so the soup is assembled from a seeded RNG).
+    const TOKENS: &[&str] = &[
+        "MATCH",
+        "WHERE",
+        "RETURN",
+        "AND",
+        "NOT",
+        "LIMIT",
+        "DISTINCT",
+        "BETWEEN",
+        "IN",
+        "(",
+        ")",
+        "[",
+        "]",
+        "-",
+        "->",
+        "-[:",
+        "]->",
+        ":",
+        ",",
+        "*",
+        "..",
+        "=",
+        "<>",
+        "<=",
+        "a",
+        "ab",
+        "Info",
+        "links-to",
+        "0",
+        "42",
+        "\"x\"",
+        "\"",
+        "date(",
+        "date(1990-01-05)",
+        " ",
+    ];
+    let mut runner = TestRunner::new(Config::with_cases(1024));
+    runner
+        .run(&any::<u64>(), |seed| {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut text = String::new();
+            for _ in 0..rng.gen_range(0..40usize) {
+                text.push_str(TOKENS[rng.gen_range(0..TOKENS.len())]);
+            }
+            let _ = parse_query(&text);
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn parser_never_panics_on_truncated_valid_queries() {
+    let mut runner = TestRunner::new(Config::with_cases(256));
+    runner
+        .run(&any::<u64>(), |seed| {
+            let text = random_query(seed).to_string();
+            // Cut at an arbitrary char boundary derived from the seed.
+            let boundaries: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+            let cut = boundaries[(seed % boundaries.len() as u64) as usize];
+            let _ = parse_query(&text[..cut]);
+            // And with a junk byte appended after the cut.
+            let mut mangled = text[..cut].to_string();
+            mangled.push('§');
+            let _ = parse_query(&mangled);
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn oversized_queries_are_rejected_up_front() {
+    let text = format!("MATCH (a:Info) RETURN a{}", " ".repeat(MAX_QUERY_LEN));
+    let err = parse_query(&text).expect_err("oversized");
+    assert!(err.to_string().contains("too long"), "{err}");
+}

@@ -795,6 +795,22 @@ fn with_request(frame: Frame, request: u64) -> Frame {
     }
 }
 
+/// Query frames carry either the textual pattern syntax or a GOODQL
+/// `MATCH ... RETURN ...` query; GOODQL is recognized by its leading
+/// keyword (case-insensitive, followed by a non-word character), which
+/// can never start a pattern (patterns open with `{`).
+fn looks_like_goodql(text: &str) -> bool {
+    let trimmed = text.trim_start();
+    if trimmed.len() < 5 || !trimmed.is_char_boundary(5) {
+        return false;
+    }
+    trimmed[..5].eq_ignore_ascii_case("match")
+        && trimmed[5..]
+            .chars()
+            .next()
+            .is_none_or(|ch| !ch.is_alphanumeric() && ch != '-' && ch != '_')
+}
+
 fn run_query(
     shared: &NetShared,
     session: u64,
@@ -808,6 +824,42 @@ fn run_query(
         Ok(snapshot) => snapshot,
         Err(err) => return with_request(err, request),
     };
+    if looks_like_goodql(pattern_text) {
+        let output =
+            match good_query::run(snapshot.instance(), pattern_text, good_query::Backend::Core) {
+                Ok(output) => output,
+                Err(err) => {
+                    return Frame::Err {
+                        request,
+                        code: ErrCode::BadRequest,
+                        retry_after_ms: 0,
+                        detail: format!("query: {}", err.render(pattern_text)),
+                    }
+                }
+            };
+        let total_ns = started.elapsed().as_nanos() as u64;
+        LIVE_QUERY_NS.observe(total_ns);
+        let (slow_query_ns, _) = shared.server.slow_thresholds();
+        if total_ns >= slow_query_ns {
+            shared.server.slow_log().push(SlowEntry {
+                seq: 0, // assigned by the log
+                kind: SlowKind::Query,
+                trace,
+                session,
+                total_ns,
+                epoch: snapshot.epoch,
+                detail: pattern_text.to_string(),
+                plan_json: None,
+                stages: vec![("query_ns", total_ns)],
+            });
+        }
+        return Frame::Rows {
+            request,
+            epoch: snapshot.epoch,
+            columns: output.columns,
+            rows: output.rows,
+        };
+    }
     let (pattern, names) = match parse_pattern(pattern_text) {
         Ok(parsed) => parsed,
         Err(err) => {

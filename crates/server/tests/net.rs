@@ -130,6 +130,61 @@ fn handshake_submit_query_snapshot_goodbye() {
 }
 
 #[test]
+fn goodql_queries_ride_the_query_frame() {
+    let (net, _vfs) = start_net(ServerConfig::default(), NetConfig::default());
+    let mut client = Client::connect(net.local_addr()).expect("connect");
+    // A bare Info (node addition is idempotent, so one is all an empty
+    // pattern yields) plus a random workload for edge variety.
+    client
+        .submit_wait(&labeled_program("Info"))
+        .expect("commit");
+    for program in random_workload(7, 3) {
+        client.submit_wait(&program).expect("commit workload");
+    }
+
+    // A Query frame whose text leads with MATCH is compiled as GOODQL
+    // instead of pattern syntax; columns come back in RETURN order.
+    let (_, columns, rows) = client
+        .query("MATCH (a:Info) RETURN a", None)
+        .expect("goodql query");
+    assert_eq!(columns, vec!["a".to_string()]);
+    assert!(!rows.is_empty(), "rows: {rows:?}");
+    assert!(
+        rows.iter().all(|row| row[0].starts_with("Info#")),
+        "rows: {rows:?}"
+    );
+    // Property paths compile and run server-side; lowercase `match`
+    // still routes to GOODQL.
+    client
+        .query(
+            "MATCH (a:Info)-[:links-to*]->(b:Info) RETURN DISTINCT a, b",
+            None,
+        )
+        .expect("path query");
+    client
+        .query("match (a:Info) RETURN a LIMIT 1", None)
+        .expect("lowercase goodql");
+
+    // A GOODQL parse error is a typed BadRequest carrying the caret
+    // render, not a disconnect.
+    match client.query("MATCH (a:Info RETURN a", None) {
+        Err(ClientError::Rejected {
+            code: ErrCode::BadRequest,
+            detail,
+            ..
+        }) => {
+            assert!(detail.contains("query:"), "detail: {detail}");
+            assert!(detail.contains('^'), "detail: {detail}");
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // The connection survives the refusal.
+    client.query("{ o: Info; }", None).expect("pattern query");
+    client.goodbye().expect("goodbye");
+    net.shutdown().expect("shutdown");
+}
+
+#[test]
 fn pipelined_submits_ack_in_submission_order() {
     let (net, _vfs) = start_net(
         ServerConfig {

@@ -9,6 +9,9 @@
 //! * [`relational`] — relational & nested relational algebra plus the
 //!   completeness compilers (Section 4.3);
 //! * [`tarski`] — the Tarski binary-relation backend (Section 5);
+//! * [`query`] — GOODQL, a declarative MATCH/WHERE/RETURN language
+//!   compiled to GOOD programs, with property paths and a
+//!   three-backend differential oracle;
 //! * [`turing`] — Turing machines and their GOOD simulation (Section 4.3);
 //! * [`store`] — journaled durable storage with crash recovery.
 //!
@@ -17,6 +20,7 @@
 pub use good_core as model;
 pub use good_graph as graph;
 pub use good_hypermedia as hypermedia;
+pub use good_query as query;
 pub use good_relational as relational;
 pub use good_store as store;
 pub use good_tarski as tarski;
